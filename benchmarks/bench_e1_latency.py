@@ -1,0 +1,22 @@
+"""E1 -- learning latency in communication steps (Sections 1, 2, 3.1).
+
+Paper claims: Classic Paxos and both classic round kinds of
+Multicoordinated Paxos learn in 3 communication steps (with phase 1
+amortized); fast rounds learn in 2.  Multicoordination adds *no* latency
+over the single-coordinated baseline.
+"""
+
+from benchmarks.conftest import run_experiment
+from repro.bench.experiments import experiment_e1
+
+
+def test_e1_latency(benchmark):
+    rows = run_experiment(benchmark, experiment_e1, "E1: propose-to-learn latency")
+    by_protocol = {row["protocol"]: row for row in rows}
+    for row in rows:
+        assert row["steps"] == row["paper"], row
+    multi = by_protocol["MC Paxos, multicoordinated round"]["steps"]
+    single = by_protocol["MC Paxos, single-coordinated round"]["steps"]
+    fast = by_protocol["Fast Paxos (baseline)"]["steps"]
+    assert multi == single == 3
+    assert fast == 2

@@ -1,0 +1,29 @@
+"""E2 -- quorum-size requirements (Section 2.2, abstract).
+
+Paper claims: Assumptions 1-2 require n > 2F and n > 2E + F.  With
+majority classic quorums, fast quorums need ⌈3n/4⌉ acceptors (the TR
+prints the conservative ⌈(3n+1)/4⌉); quorums that are both fast and
+classic need ⌈(2n+1)/3⌉.  Multicoordinated rounds keep *classic* quorums:
+tolerating any minority of failures requires only a majority to
+synchronize, versus over 3/4 for fast rounds.
+"""
+
+import math
+
+from benchmarks.conftest import run_experiment
+from repro.bench.experiments import experiment_e2
+
+
+def test_e2_quorum_sizes(benchmark):
+    rows = run_experiment(benchmark, experiment_e2, "E2: quorum sizes vs n")
+    for row in rows:
+        n = row["n"]
+        # Classic/multicoordinated quorums are bare majorities.
+        assert row["classic/multicoord quorum"] == n // 2 + 1
+        # Fast quorums match the tight ceil(3n/4) bound.
+        assert row["fast quorum"] == row["ceil(3n/4)"] == math.ceil(3 * n / 4)
+        # n > 2E + F holds.
+        assert n > 2 * row["E (fast failures)"] + row["F (classic failures)"]
+        # Fast rounds tolerate fewer failures than classic rounds (n >= 4).
+        if n >= 4:
+            assert row["E (fast failures)"] < row["F (classic failures)"] or n < 5

@@ -1,0 +1,27 @@
+"""E3 -- availability under a coordinator crash (Sections 1, 4.1).
+
+Paper claims: if the single leader of a classic round fails, commands stop
+being learned until the failure is suspected, a new leader elected and a
+new round's phase 1 completed.  A multicoordinated round keeps a live
+coordinator quorum and suffers *no* interruption; fast rounds bypass
+coordinators entirely.
+"""
+
+from benchmarks.conftest import run_experiment
+from repro.bench.experiments import experiment_e3
+
+
+def test_e3_availability(benchmark):
+    rows = run_experiment(
+        benchmark, experiment_e3, "E3: learning gap around a coordinator crash"
+    )
+    by_kind = {row["round kind"]: row for row in rows}
+    single_gap = by_kind["single-coordinated"]["interruption"]
+    multi_gap = by_kind["multicoordinated"]["interruption"]
+    fast_gap = by_kind["fast"]["interruption"]
+    # Single-coordinated rounds stall for roughly the failure-detector
+    # timeout plus a round change; the decentralized rounds do not stall.
+    assert single_gap > 5 * max(multi_gap, 1e-9)
+    assert multi_gap <= 1.0
+    assert fast_gap <= 1.0
+    assert all(row["unlearned"] == 0 for row in rows)

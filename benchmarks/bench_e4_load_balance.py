@@ -1,0 +1,26 @@
+"""E4 -- load balance (Section 4.1).
+
+Paper claims: in Classic Paxos every command passes through the leader
+(load 1.0).  With multicoordinated rounds and random quorum selection each
+coordinator handles at most 1/2 + 1/nc of the commands and each acceptor
+at most 1/2 + 1/n.  Fast rounds balance worse: every acceptor must process
+more than 3/4 of the commands.
+"""
+
+from benchmarks.conftest import run_experiment
+from repro.bench.experiments import experiment_e4
+
+
+def test_e4_load_balance(benchmark):
+    rows = run_experiment(benchmark, experiment_e4, "E4: per-process load fractions")
+    classic = next(r for r in rows if r["mode"] == "classic (leader)")
+    assert classic["max load"] == 1.0
+    for row in rows:
+        if row["mode"] == "multicoordinated":
+            assert row["max load"] <= row["paper bound"] + 0.05, row
+    fast = next(r for r in rows if r["mode"] == "fast")
+    assert fast["max load"] >= fast["paper bound"]  # bound is a lower bound
+    multi_acc = next(
+        r for r in rows if r["mode"] == "multicoordinated" and r["process"] == "acceptor"
+    )
+    assert multi_acc["max load"] < fast["max load"]

@@ -1,0 +1,42 @@
+"""E5 -- collisions vs conflict rate, and wasted disk writes (Sections 2.2, 4.2).
+
+Paper claims: collisions only involve *conflicting* commands proposed
+concurrently.  Fast-round collisions are inherently more expensive: the
+colliding values were already accepted (written to stable storage) and are
+then discarded, while multicoordinated collisions are detected at the
+acceptors before acceptance and waste (almost) no disk write.
+"""
+
+from benchmarks.conftest import run_experiment
+from repro.bench.experiments import experiment_e5, experiment_e5_waste
+
+
+def test_e5_conflict_sweep(benchmark):
+    rows = run_experiment(
+        benchmark, experiment_e5, "E5: conflict-rate sweep (burst arrivals, jitter)"
+    )
+    assert all(row["unlearned"] == 0 for row in rows)
+    fast = {row["conflict rate"]: row for row in rows if row["mode"] == "fast"}
+    multi = {
+        row["conflict rate"]: row for row in rows if row["mode"] == "multicoordinated"
+    }
+    # At zero conflict nothing collides and fast is faster.
+    assert fast[0.0]["extra rounds"] == 0
+    assert fast[0.0]["mean latency (steps)"] < multi[0.0]["mean latency (steps)"]
+    # At full conflict, fast rounds pay for recovery.
+    assert fast[1.0]["extra rounds"] >= 1
+    assert fast[1.0]["mean latency (steps)"] > fast[0.0]["mean latency (steps)"] + 1
+    # Multicoordinated rounds detect collisions but keep latency stable.
+    assert multi[1.0]["collisions"] >= 1
+    assert multi[1.0]["mean latency (steps)"] < multi[0.0]["mean latency (steps)"] + 1
+
+
+def test_e5_wasted_disk_writes(benchmark):
+    rows = run_experiment(
+        benchmark, experiment_e5_waste, "E5b: wasted disk writes per collision"
+    )
+    fast = next(r for r in rows if r["mode"] == "fast")
+    multi = next(r for r in rows if r["mode"] == "multicoordinated")
+    assert fast["collided runs"] > 0 and multi["collided runs"] > 0
+    assert fast["wasted disk writes / collision"] >= 1.0
+    assert multi["wasted disk writes / collision"] < 0.5

@@ -1,0 +1,28 @@
+"""E6 -- disk writes (Sections 4.1, 4.4).
+
+Paper claims: coordinators never write to stable storage (crashed
+coordinators simply come back as fresh ones); acceptors write once per
+acceptance; with the MCount/mCount scheme of Section 4.4 acceptors write
+the round watermark once at startup plus once per recovery, instead of on
+every phase-1b/round change.
+"""
+
+from benchmarks.conftest import run_experiment
+from repro.bench.experiments import experiment_e6
+
+
+def test_e6_disk_writes(benchmark):
+    rows = run_experiment(benchmark, experiment_e6, "E6: disk writes per configuration")
+    reduced = next(r for r in rows if r["config"] == "§4.4 reduced")
+    naive = next(r for r in rows if r["config"] == "naive rnd-on-disk")
+    recovery = next(r for r in rows if "recovery" in r["config"])
+    # Coordinators never touch stable storage.
+    assert all(row["coordinator writes"] == 0 for row in rows)
+    # §4.4 reduces round-number writes to the startup writes only.
+    assert reduced["rnd/mcount writes"] <= 2 * 3  # at most startup + round change
+    assert naive["rnd/mcount writes"] > 3 * reduced["rnd/mcount writes"]
+    # Recovery costs exactly one extra mcount write.
+    assert recovery["rnd/mcount writes"] == reduced["rnd/mcount writes"] + 1
+    # Roughly one vote write per command per acceptor in steady state.
+    assert 0.5 <= reduced["vote writes / cmd / acceptor"] <= 1.5
+    assert all(row["unlearned"] == 0 for row in rows)

@@ -1,0 +1,25 @@
+"""E7 -- collision recovery cost (Sections 2.2, 4.2).
+
+Paper claims: after a fast-round collision, restarting the next round from
+scratch costs four extra communication steps; coordinated recovery (2b
+messages reread as 1b messages) costs two; uncoordinated recovery
+(acceptors pick and accept directly) costs one.
+"""
+
+from benchmarks.conftest import run_experiment
+from repro.bench.experiments import experiment_e7
+
+
+def test_e7_recovery_cost(benchmark):
+    rows = run_experiment(
+        benchmark, experiment_e7, "E7: collided-run decision latency per strategy"
+    )
+    by_strategy = {row["strategy"]: row for row in rows}
+    assert all(row["collided runs"] > 0 for row in rows)
+    restart = by_strategy["restart"]["mean latency (collided)"]
+    coordinated = by_strategy["coordinated"]["mean latency (collided)"]
+    uncoordinated = by_strategy["uncoordinated"]["mean latency (collided)"]
+    # The ordering (and roughly the spacing) of the paper's step counts.
+    assert uncoordinated < coordinated < restart
+    assert restart - coordinated > 1.0  # ~2 extra steps
+    assert coordinated - uncoordinated > 0.5  # ~1 extra step

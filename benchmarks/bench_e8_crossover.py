@@ -1,0 +1,33 @@
+"""E8 -- round-type crossover (Section 4.5).
+
+Paper claims: in "clustered" settings (spontaneous message order, i.e. no
+jitter) fast rounds win even under conflicts; in conflict-prone settings
+with message inversions, classic rounds win and fast rounds pay recovery
+penalties.  Multicoordinated rounds hold classic latency everywhere while
+additionally tolerating coordinator crashes (E3).
+"""
+
+from benchmarks.conftest import run_experiment
+from repro.bench.experiments import experiment_e8
+
+
+def test_e8_crossover(benchmark):
+    rows = run_experiment(benchmark, experiment_e8, "E8: jitter x conflict sweep")
+    table = {
+        (row["round kind"], row["jitter"], row["conflict rate"]): row for row in rows
+    }
+    assert all(row["unlearned"] == 0 for row in rows)
+    # Clustered system: fast wins regardless of conflicts.
+    assert table[("fast", 0.0, 0.0)]["mean latency (steps)"] == 2.0
+    assert table[("fast", 0.0, 1.0)]["mean latency (steps)"] == 2.0
+    # Conflict-prone system: fast degrades past the classic rounds.
+    fast_bad = table[("fast", 1.5, 1.0)]["mean latency (steps)"]
+    multi_bad = table[("multicoordinated", 1.5, 1.0)]["mean latency (steps)"]
+    single_bad = table[("single-coordinated", 1.5, 1.0)]["mean latency (steps)"]
+    assert fast_bad > multi_bad
+    assert fast_bad > single_bad
+    # Multicoordinated rounds keep ~3-step latency across the grid.
+    for jitter in (0.0, 1.5):
+        for rate in (0.0, 1.0):
+            latency = table[("multicoordinated", jitter, rate)]["mean latency (steps)"]
+            assert latency <= 3.4

@@ -1,0 +1,20 @@
+"""Shared helpers for the experiment benchmarks.
+
+Each ``bench_e*.py`` file regenerates one of the paper's quantitative
+claims (see DESIGN.md section 4 and EXPERIMENTS.md).  The experiments are
+deterministic simulations, so every benchmark runs its experiment exactly
+once (``pedantic(rounds=1)``) and prints the regenerated table; the
+pytest-benchmark timing then reports the harness cost of the experiment.
+"""
+
+from __future__ import annotations
+
+from repro.bench.tables import format_table
+
+
+def run_experiment(benchmark, fn, title: str):
+    """Execute *fn* once under the benchmark, print and return its rows."""
+    rows = benchmark.pedantic(fn, rounds=1, iterations=1)
+    print()
+    print(format_table(rows, title=title))
+    return rows

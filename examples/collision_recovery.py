@@ -1,0 +1,93 @@
+#!/usr/bin/env python
+"""Fast-round collisions and the three recovery strategies (Sections 2.2, 4.2).
+
+Two proposers concurrently propose conflicting values into a fast round
+over a jittery network.  Acceptors may accept different values, no fast
+quorum agrees, and the round collides.  The script compares the decision
+latency of the three recovery strategies:
+
+* restart       -- run round i+1 from scratch           (~4 extra steps)
+* coordinated   -- reread 2b messages as 1b for i+1     (~2 extra steps)
+* uncoordinated -- acceptors pick and accept directly   (~1 extra step)
+
+and contrasts the wasted disk writes with a multicoordinated round, where
+collisions are detected *before* anything is accepted.
+
+Run:  python examples/collision_recovery.py
+"""
+
+from repro import NetworkConfig, Simulation, build_consensus, build_fast_paxos
+from repro.cstruct import Command
+
+A = Command("a", "put", "x", 1)
+B = Command("b", "put", "x", 2)
+
+
+def fast_run(seed: int, strategy: str):
+    sim = Simulation(seed=seed, network=NetworkConfig(jitter=0.9))
+    cluster = build_fast_paxos(
+        sim,
+        n_acceptors=4,
+        n_proposers=2,
+        fast_rounds=(lambda r: True) if strategy == "uncoordinated" else (lambda r: r == 1),
+        uncoordinated=strategy == "uncoordinated",
+        recovery={"restart": "restart", "coordinated": "coordinated",
+                  "uncoordinated": "none"}[strategy],
+    )
+    cluster.start_round(1)
+    cluster.propose(A, delay=6.0, proposer=0)
+    cluster.propose(B, delay=6.0, proposer=1)
+    decided = cluster.run_until_decided(timeout=500)
+    collided = (
+        sum(c.collisions_recovered for c in cluster.coordinators) > 0
+        or sum(a.wasted_disk_writes for a in cluster.acceptors) > 0
+    )
+    if not (decided and collided):
+        return None
+    decision = cluster.decision()
+    wasted = sum(
+        sum(1 for _, val in acc.accept_log if val != decision)
+        for acc in cluster.acceptors
+    )
+    return sim.metrics.latency_of(decision), wasted
+
+
+def multicoord_run(seed: int):
+    sim = Simulation(seed=seed, network=NetworkConfig(jitter=0.9))
+    cluster = build_consensus(sim, n_proposers=2, n_coordinators=3, n_acceptors=3)
+    cluster.start_round(cluster.config.schedule.make_round(0, 1, rtype=2))
+    cluster.propose(A, delay=6.0, proposer=0)
+    cluster.propose(B, delay=6.0, proposer=1)
+    cluster.run_until_decided(timeout=500)
+    if not sum(a.collisions_detected for a in cluster.acceptors):
+        return None
+    decision = cluster.decision()
+    wasted = sum(
+        sum(1 for _, val in acc.accept_log if val != decision)
+        for acc in cluster.acceptors
+    )
+    return sim.metrics.latency_of(decision), wasted
+
+
+def main() -> None:
+    print("two conflicting proposals race into a fast round (40 seeds each):\n")
+    for strategy in ("restart", "coordinated", "uncoordinated"):
+        samples = [fast_run(seed, strategy) for seed in range(40)]
+        samples = [s for s in samples if s is not None]
+        latency = sum(lat for lat, _ in samples) / len(samples)
+        wasted = sum(w for _, w in samples) / len(samples)
+        print(f"  fast + {strategy:<13}: {len(samples):2d} collided runs, "
+              f"mean decision latency {latency:5.2f}, wasted disk writes {wasted:4.2f}")
+
+    samples = [multicoord_run(seed) for seed in range(40)]
+    samples = [s for s in samples if s is not None]
+    latency = sum(lat for lat, _ in samples) / len(samples)
+    wasted = sum(w for _, w in samples) / len(samples)
+    print(f"  multicoordinated     : {len(samples):2d} collided runs, "
+          f"mean decision latency {latency:5.2f}, wasted disk writes {wasted:4.2f}")
+    print("\nuncoordinated < coordinated < restart in latency (1 < 2 < 4 extra")
+    print("steps), and only fast rounds pay for collisions with disk writes.")
+
+
+if __name__ == "__main__":
+    main()

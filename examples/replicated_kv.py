@@ -1,0 +1,78 @@
+#!/usr/bin/env python
+"""A replicated key-value store over Generic Broadcast (Section 3.3).
+
+The paper's motivating application: commands on different keys commute and
+may be learned in different orders at different replicas, yet all replicas
+converge because conflicting commands (same key, at least one write) are
+delivered in the same relative order everywhere.
+
+The script broadcasts a mixed workload from two clients through a
+Multicoordinated Generalized Paxos instance, applies it on three replicas
+and shows that (a) every replica reaches the same state, (b) commuting
+commands really were allowed to interleave differently.
+
+Run:  python examples/replicated_kv.py
+"""
+
+from repro import Simulation, NetworkConfig
+from repro.core.broadcast import GenericBroadcast
+from repro.cstruct import Command
+from repro.smr.client import Client
+from repro.smr.machine import KVStore, kv_conflict
+from repro.smr.replica import BroadcastReplica
+
+
+def main() -> None:
+    sim = Simulation(seed=11, network=NetworkConfig(jitter=0.8))
+    service = GenericBroadcast.deploy(
+        sim,
+        conflict=kv_conflict(),
+        n_proposers=2,
+        n_coordinators=3,
+        n_acceptors=3,
+        n_learners=3,
+    )
+    service.start_round(service.cluster.config.schedule.make_round(0, 1, rtype=2))
+
+    replicas = [
+        BroadcastReplica(learner, KVStore()) for learner in service.cluster.learners
+    ]
+
+    alice = Client("alice", service.cluster)
+    bob = Client("bob", service.cluster)
+    for client, replica in [(alice, replicas[0]), (bob, replicas[1])]:
+        client.watch_replica(replica)
+
+    commands = [
+        alice.issue(Command("a1", "put", "apples", 3), delay=5.0),
+        bob.issue(Command("b1", "put", "bananas", 7), delay=5.0),  # commutes with a1
+        alice.issue(Command("a2", "inc", "apples", 2), delay=9.0),
+        bob.issue(Command("b2", "inc", "bananas", 1), delay=9.0),
+        alice.issue(Command("a3", "get", "apples"), delay=13.0),
+        bob.issue(Command("b3", "get", "apples"), delay=13.0),  # two reads commute
+    ]
+    assert service.cluster.run_until_learned(commands, timeout=2000)
+
+    print("replica states:")
+    for index, replica in enumerate(replicas):
+        print(f"  replica {index}: {dict(replica.machine.snapshot())}")
+    states = {replica.machine.snapshot() for replica in replicas}
+    assert len(states) == 1, "replicas must converge"
+
+    print("\nexecution orders (commuting commands may interleave differently):")
+    for index, replica in enumerate(replicas):
+        print(f"  replica {index}: {[c.cid for c in replica.executed]}")
+
+    conflicting = [c for c in commands if c.key == "apples" and c.op != "get"]
+    orders = [
+        [c.cid for c in replica.executed if c in conflicting] for replica in replicas
+    ]
+    assert all(order == orders[0] for order in orders)
+    print(f"\nconflicting commands ordered identically everywhere: {orders[0]}")
+
+    latencies = {c.cid: alice.latency(c) or bob.latency(c) for c in commands}
+    print(f"client-observed latencies (steps): {latencies}")
+
+
+if __name__ == "__main__":
+    main()

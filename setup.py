@@ -1,0 +1,9 @@
+"""Setuptools entry point.
+
+Kept alongside pyproject.toml so that ``pip install -e .`` works in offline
+environments lacking the ``wheel`` package (legacy editable installs).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,12 @@
+"""Benchmark harness: workloads, experiment runners and table formatting.
+
+One experiment function per quantitative claim of the paper (E1-E8, see
+DESIGN.md section 4); the pytest-benchmark files under ``benchmarks/`` are
+thin wrappers that execute these functions and print the regenerated
+tables.
+"""
+
+from repro.bench.tables import format_table
+from repro.bench.workload import Workload, WorkloadConfig
+
+__all__ = ["Workload", "WorkloadConfig", "format_table"]

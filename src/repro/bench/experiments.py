@@ -1,0 +1,677 @@
+"""Experiment runners E1-E8: one function per quantitative claim.
+
+The paper (a theory TR) contains no empirical tables or figures; its
+evaluation is the set of quantitative claims analysed in Sections 1-4.
+DESIGN.md numbers them E1-E8; every function here regenerates the
+corresponding rows on the simulator, and EXPERIMENTS.md records the
+paper-claim vs measured outcome.  The ``benchmarks/`` directory wraps these
+functions with pytest-benchmark.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.bench.workload import Workload, WorkloadConfig
+from repro.core.generalized import GeneralizedCluster, build_generalized
+from repro.core.liveness import LivenessConfig
+from repro.core.multicoordinated import build_consensus
+from repro.core.quorums import QuorumSystem, paper_quorum_sizes
+from repro.core.rounds import RoundSchedule, RoundTypePolicy
+from repro.cstruct.commands import Command
+from repro.cstruct.history import CommandHistory
+from repro.protocols.classic import build_classic_paxos
+from repro.protocols.fast import build_fast_paxos
+from repro.protocols.generalized import build_generalized_paxos
+from repro.sim.network import NetworkConfig
+from repro.sim.scheduler import Simulation
+from repro.smr.machine import kv_conflict
+
+Row = dict
+
+
+# ---------------------------------------------------------------------------
+# E1 -- learning latency in communication steps (Sections 1, 2.1-2.2, 3.1)
+# ---------------------------------------------------------------------------
+
+
+def _e1_classic() -> tuple[float, int]:
+    sim = Simulation(seed=1)
+    cluster = build_classic_paxos(sim, n_coordinators=3, n_acceptors=3)
+    cluster.start_round(1)
+    sim.run(until=15)
+    before = sim.metrics.total_messages
+    cmd = Command("e1", "put", "x", 1)
+    cluster.propose(cmd, delay=1.0)
+    cluster.run_until_delivered([cmd], timeout=200)
+    return sim.metrics.latency_of(cmd), sim.metrics.total_messages - before
+
+
+def _e1_consensus(rtype: int, n_coordinators: int = 3, n_acceptors: int = 3) -> tuple[float, int]:
+    sim = Simulation(seed=1)
+    cluster = build_consensus(
+        sim, n_coordinators=n_coordinators, n_acceptors=n_acceptors
+    )
+    cluster.start_round(cluster.config.schedule.make_round(0, 1, rtype))
+    sim.run(until=15)
+    before = sim.metrics.total_messages
+    cmd = Command("e1", "put", "x", 1)
+    cluster.propose(cmd, delay=1.0)
+    cluster.run_until_decided(timeout=200)
+    return sim.metrics.latency_of(cmd), sim.metrics.total_messages - before
+
+
+def _e1_fast_baseline() -> tuple[float, int]:
+    sim = Simulation(seed=1)
+    cluster = build_fast_paxos(sim, n_acceptors=4)
+    cluster.start_round(1)
+    sim.run(until=15)
+    before = sim.metrics.total_messages
+    cmd = Command("e1", "put", "x", 1)
+    cluster.propose(cmd, delay=1.0)
+    cluster.run_until_decided(timeout=200)
+    return sim.metrics.latency_of(cmd), sim.metrics.total_messages - before
+
+
+def _e1_generalized(rtype: int) -> tuple[float, int]:
+    sim = Simulation(seed=1)
+    cluster = build_generalized(
+        sim, bottom=CommandHistory.bottom(kv_conflict()), n_coordinators=3, n_acceptors=3
+    )
+    cluster.start_round(cluster.config.schedule.make_round(0, 1, rtype))
+    sim.run(until=15)
+    before = sim.metrics.total_messages
+    cmd = Command("e1", "put", "x", 1)
+    cluster.propose(cmd, delay=1.0)
+    cluster.run_until_learned([cmd], timeout=200)
+    return sim.metrics.latency_of(cmd), sim.metrics.total_messages - before
+
+
+def experiment_e1() -> list[Row]:
+    """Steady-state propose-to-learn latency, unit-latency network."""
+    rows: list[Row] = []
+    latency, msgs = _e1_classic()
+    rows.append(
+        {"protocol": "Classic Paxos (baseline)", "steps": latency, "messages": msgs, "paper": 3}
+    )
+    latency, msgs = _e1_consensus(rtype=1)
+    rows.append(
+        {"protocol": "MC Paxos, single-coordinated round", "steps": latency, "messages": msgs, "paper": 3}
+    )
+    latency, msgs = _e1_consensus(rtype=2)
+    rows.append(
+        {"protocol": "MC Paxos, multicoordinated round", "steps": latency, "messages": msgs, "paper": 3}
+    )
+    latency, msgs = _e1_consensus(rtype=0, n_acceptors=4)
+    rows.append(
+        {"protocol": "MC Paxos, fast round", "steps": latency, "messages": msgs, "paper": 2}
+    )
+    latency, msgs = _e1_fast_baseline()
+    rows.append(
+        {"protocol": "Fast Paxos (baseline)", "steps": latency, "messages": msgs, "paper": 2}
+    )
+    latency, msgs = _e1_generalized(rtype=2)
+    rows.append(
+        {"protocol": "MC Generalized Paxos, multicoordinated", "steps": latency, "messages": msgs, "paper": 3}
+    )
+    latency, msgs = _e1_generalized(rtype=0)
+    rows.append(
+        {"protocol": "Generalized Paxos, fast round", "steps": latency, "messages": msgs, "paper": 2}
+    )
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# E2 -- quorum-size requirements (Section 2.2, abstract)
+# ---------------------------------------------------------------------------
+
+
+def experiment_e2(n_range: range = range(3, 14)) -> list[Row]:
+    """Quorum sizes for n acceptors under n > 2E + F."""
+    rows: list[Row] = []
+    for n in n_range:
+        sizes = paper_quorum_sizes(n)
+        system = QuorumSystem(range(n))
+        system.check_assumptions(exhaustive=n <= 7)
+        rows.append(
+            {
+                "n": n,
+                "F (classic failures)": sizes["F"],
+                "E (fast failures)": sizes["E"],
+                "classic/multicoord quorum": sizes["classic_quorum"],
+                "fast quorum": sizes["fast_quorum"],
+                "ceil(3n/4)": math.ceil(3 * n / 4),
+                "balanced ceil((2n+1)/3)": sizes["balanced_quorum"],
+            }
+        )
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# E3 -- availability under a coordinator crash (Sections 1, 4.1)
+# ---------------------------------------------------------------------------
+
+
+def _availability_run(
+    rtype: int,
+    seed: int = 5,
+    crash_at: float = 60.0,
+    n_commands: int = 40,
+    period: float = 4.0,
+) -> Row:
+    cluster_kind = {0: "fast", 1: "single-coordinated", 2: "multicoordinated"}[rtype]
+    sim = Simulation(seed=seed)
+    cluster = build_generalized(
+        sim,
+        bottom=CommandHistory.bottom(kv_conflict()),
+        n_coordinators=3,
+        n_acceptors=3 if rtype != 0 else 4,
+        liveness=LivenessConfig(),
+    )
+    cluster.start_round(cluster.config.schedule.make_round(0, 1, rtype))
+    workload = Workload.generate(
+        WorkloadConfig(n_commands=n_commands, period=period, seed=seed)
+    )
+    workload.schedule_on(cluster)
+    sim.schedule(crash_at, lambda: cluster.coordinators[0].crash())
+    cluster.run_until_learned(workload.commands, timeout=5_000)
+    times = sorted(
+        t
+        for t in (sim.metrics.learn_time(c) for c in workload.commands)
+        if t is not None
+    )
+    gaps = [b - a for a, b in zip(times, times[1:])]
+    unlearned = sum(
+        1 for c in workload.commands if sim.metrics.learn_time(c) is None
+    )
+    return {
+        "round kind": cluster_kind,
+        "max learning gap": max(gaps) if gaps else float("nan"),
+        "baseline period": period,
+        "interruption": (max(gaps) if gaps else 0.0) - period,
+        "unlearned": unlearned,
+    }
+
+
+def experiment_e3(seed: int = 5) -> list[Row]:
+    """Crash one coordinator mid-run; measure the learning interruption."""
+    return [
+        _availability_run(rtype=1, seed=seed),
+        _availability_run(rtype=2, seed=seed),
+        _availability_run(rtype=0, seed=seed),
+    ]
+
+
+# ---------------------------------------------------------------------------
+# E4 -- load balance (Section 4.1)
+# ---------------------------------------------------------------------------
+
+
+def _e4_classic_leader(n_commands: int = 40) -> list[Row]:
+    sim = Simulation(seed=3)
+    cluster = build_classic_paxos(sim, n_coordinators=3, n_acceptors=5)
+    cluster.start_round(1)
+    workload = Workload.generate(WorkloadConfig(n_commands=n_commands, seed=3))
+    workload.schedule_on(cluster)
+    cluster.run_until_delivered(workload.commands, timeout=5_000)
+    loads = [
+        sim.metrics.commands_handled[c.pid] / n_commands for c in cluster.coordinators
+    ]
+    return [
+        {
+            "mode": "classic (leader)",
+            "process": "coordinator",
+            "max load": max(loads),
+            "paper bound": 1.0,
+            "source": "measured end-to-end",
+        }
+    ]
+
+
+def _e4_multicoord_coordinators(n_commands: int = 40) -> list[Row]:
+    sim = Simulation(seed=3)
+    cluster = build_generalized(
+        sim,
+        bottom=CommandHistory.bottom(kv_conflict()),
+        n_coordinators=3,
+        n_acceptors=5,
+    )
+    cluster.set_load_balancing(True)
+    cluster.start_round(cluster.config.schedule.make_round(0, 1, 2))
+    workload = Workload.generate(WorkloadConfig(n_commands=n_commands, seed=3))
+    workload.schedule_on(cluster)
+    cluster.run_until_learned(workload.commands, timeout=5_000)
+    nc = len(cluster.coordinators)
+    loads = [
+        sim.metrics.commands_handled[c.pid] / n_commands for c in cluster.coordinators
+    ]
+    return [
+        {
+            "mode": "multicoordinated",
+            "process": "coordinator",
+            "max load": max(loads),
+            "paper bound": 0.5 + 1.0 / nc,
+            "source": "measured end-to-end",
+        }
+    ]
+
+
+def _e4_assignment_model(n_commands: int = 20_000) -> list[Row]:
+    """Per-command quorum assignment (the paper's probabilistic claim).
+
+    C-structs are cumulative, so in the single-instance generalized engine
+    every acceptor eventually stores every command; the paper's per-command
+    acceptor-load claim lives in the one-instance-per-command world, which
+    this sampling model reproduces exactly.
+    """
+    import random
+
+    rng = random.Random(42)
+    rows: list[Row] = []
+    nc, n = 3, 5
+    quorums = QuorumSystem(range(n))
+    coord_counts = [0] * nc
+    acc_counts = [0] * n
+    c_size = nc // 2 + 1
+    for _ in range(n_commands):
+        for c in rng.sample(range(nc), c_size):
+            coord_counts[c] += 1
+        for a in rng.sample(range(n), quorums.classic_quorum_size):
+            acc_counts[a] += 1
+    rows.append(
+        {
+            "mode": "multicoordinated",
+            "process": "coordinator",
+            "max load": max(coord_counts) / n_commands,
+            "paper bound": 0.5 + 1.0 / nc,
+            "source": "assignment model",
+        }
+    )
+    rows.append(
+        {
+            "mode": "multicoordinated",
+            "process": "acceptor",
+            "max load": max(acc_counts) / n_commands,
+            "paper bound": 0.5 + 1.0 / n,
+            "source": "assignment model",
+        }
+    )
+    fast_counts = [0] * n
+    for _ in range(n_commands):
+        for a in rng.sample(range(n), quorums.fast_quorum_size):
+            fast_counts[a] += 1
+    rows.append(
+        {
+            "mode": "fast",
+            "process": "acceptor",
+            "max load": max(fast_counts) / n_commands,
+            "paper bound": 0.75,  # lower bound: every acceptor sees > 3/4
+            "source": "assignment model",
+        }
+    )
+    return rows
+
+
+def _e4_multicoord_instances(n_commands: int = 30) -> list[Row]:
+    """End-to-end acceptor load on the instance-per-command SMR engine."""
+    from repro.smr.instances import build_smr
+
+    sim = Simulation(seed=3)
+    cluster = build_smr(
+        sim,
+        n_proposers=2,
+        n_coordinators=3,
+        n_acceptors=5,
+        liveness=LivenessConfig(),
+    )
+    cluster.set_load_balancing(True)
+    cluster.start_round(cluster.config.schedule.make_round(0, 1, 2))
+    workload = Workload.generate(WorkloadConfig(n_commands=n_commands, seed=3))
+    workload.schedule_on(cluster)
+    cluster.run_until_delivered(workload.commands, timeout=10_000)
+    loads = [a.commands_accepted / n_commands for a in cluster.acceptors]
+    return [
+        {
+            "mode": "multicoordinated",
+            "process": "acceptor",
+            "max load": max(loads),
+            "paper bound": 0.5 + 1.0 / 5,
+            "source": "measured end-to-end (SMR instances)",
+        }
+    ]
+
+
+def experiment_e4() -> list[Row]:
+    """Per-process load under random quorum selection."""
+    rows = _e4_classic_leader()
+    rows += _e4_multicoord_coordinators()
+    rows += _e4_multicoord_instances()
+    rows += _e4_assignment_model()
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# E5 -- collisions and wasted disk writes vs conflict rate (Sections 2.2, 4.2)
+# ---------------------------------------------------------------------------
+
+
+def _fast_generalized_cluster(sim: Simulation) -> GeneralizedCluster:
+    return build_generalized_paxos(
+        sim,
+        bottom=CommandHistory.bottom(kv_conflict()),
+        n_coordinators=2,
+        n_acceptors=4,
+        liveness=LivenessConfig(),
+    )
+
+
+def _multicoord_cluster(sim: Simulation) -> GeneralizedCluster:
+    return build_generalized(
+        sim,
+        bottom=CommandHistory.bottom(kv_conflict()),
+        n_coordinators=3,
+        n_acceptors=3,
+        liveness=LivenessConfig(),
+    )
+
+
+def _e5_run(mode: str, conflict_rate: float, seed: int) -> Row:
+    jitter = 1.2
+    sim = Simulation(seed=seed, network=NetworkConfig(jitter=jitter))
+    if mode == "fast":
+        cluster = _fast_generalized_cluster(sim)
+        rtype = 0
+    else:
+        cluster = _multicoord_cluster(sim)
+        rtype = 2
+    cluster.start_round(cluster.config.schedule.make_round(0, 1, rtype))
+    workload = Workload.generate(
+        WorkloadConfig(
+            n_commands=30,
+            conflict_rate=conflict_rate,
+            arrival="burst",
+            burst_size=2,
+            period=8.0,
+            seed=seed,
+        )
+    )
+    workload.schedule_on(cluster)
+    cluster.run_until_learned(workload.commands, timeout=20_000)
+    learned = [
+        c for c in workload.commands if sim.metrics.learn_time(c) is not None
+    ]
+    vote_writes = sum(a.storage.write_counts["vval"] for a in cluster.acceptors)
+    latencies = [sim.metrics.latency_of(c) for c in learned]
+    mean_hop = 1.0 + jitter / 2
+    return {
+        "mode": mode,
+        "conflict rate": conflict_rate,
+        "collisions": sum(a.collisions_detected for a in cluster.acceptors),
+        "extra rounds": sum(c.rounds_started for c in cluster.coordinators) - 1,
+        "writes / cmd / acceptor": vote_writes
+        / max(len(learned), 1)
+        / len(cluster.acceptors),
+        "mean latency (steps)": sum(latencies)
+        / max(len(latencies), 1)
+        / mean_hop,
+        "unlearned": len(workload.commands) - len(learned),
+    }
+
+
+def experiment_e5(
+    conflict_rates: tuple[float, ...] = (0.0, 0.3, 0.6, 1.0), seed: int = 2
+) -> list[Row]:
+    """Collision behaviour of fast vs multicoordinated rounds."""
+    rows: list[Row] = []
+    for mode in ("fast", "multicoordinated"):
+        for rate in conflict_rates:
+            rows.append(_e5_run(mode, rate, seed))
+    return rows
+
+
+def _e5_waste_fast(seed: int) -> tuple[int, int]:
+    """(collided?, wasted acceptor disk writes) for one fast-round run."""
+    sim = Simulation(seed=seed, network=NetworkConfig(jitter=0.9))
+    cluster = build_fast_paxos(
+        sim, n_acceptors=4, n_proposers=2, fast_rounds=lambda r: r == 1
+    )
+    cluster.start_round(1)
+    a = Command("a", "put", "x", 1)
+    b = Command("b", "put", "x", 2)
+    cluster.propose(a, delay=6.0, proposer=0)
+    cluster.propose(b, delay=6.0, proposer=1)
+    cluster.run_until_decided(timeout=500)
+    decision = cluster.decision()
+    collided = sum(c.collisions_recovered for c in cluster.coordinators) > 0
+    wasted = sum(
+        sum(1 for _, val in acc.accept_log if val != decision)
+        for acc in cluster.acceptors
+    )
+    return int(collided), wasted
+
+
+def _e5_waste_multicoord(seed: int) -> tuple[int, int]:
+    """(collided?, wasted acceptor disk writes) for a multicoordinated run."""
+    sim = Simulation(seed=seed, network=NetworkConfig(jitter=0.9))
+    cluster = build_consensus(sim, n_proposers=2, n_coordinators=3, n_acceptors=3)
+    cluster.start_round(cluster.config.schedule.make_round(0, 1, 2))
+    a = Command("a", "put", "x", 1)
+    b = Command("b", "put", "x", 2)
+    cluster.propose(a, delay=6.0, proposer=0)
+    cluster.propose(b, delay=6.0, proposer=1)
+    cluster.run_until_decided(timeout=500)
+    decision = cluster.decision()
+    collided = sum(acc.collisions_detected for acc in cluster.acceptors) > 0
+    wasted = sum(
+        sum(1 for _, val in acc.accept_log if val != decision)
+        for acc in cluster.acceptors
+    )
+    return int(collided), wasted
+
+
+def experiment_e5_waste(n_seeds: int = 40) -> list[Row]:
+    """Section 4.2's key asymmetry, at the consensus level.
+
+    Fast-round collisions happen *after* acceptance: the losing value was
+    written to disk.  Multicoordinated collisions are detected before
+    acceptance: no disk write is wasted.
+    """
+    rows: list[Row] = []
+    for mode, run in (("fast", _e5_waste_fast), ("multicoordinated", _e5_waste_multicoord)):
+        collided_runs = 0
+        wasted_total = 0
+        for seed in range(n_seeds):
+            collided, wasted = run(seed)
+            if collided:
+                collided_runs += 1
+                wasted_total += wasted
+        rows.append(
+            {
+                "mode": mode,
+                "collided runs": collided_runs,
+                "wasted disk writes / collision": wasted_total / max(collided_runs, 1),
+            }
+        )
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# E6 -- disk writes (Sections 4.1, 4.4)
+# ---------------------------------------------------------------------------
+
+
+def _e6_run(reduce_disk_writes: bool, with_recovery: bool, seed: int = 4) -> Row:
+    sim = Simulation(seed=seed)
+    cluster = build_generalized(
+        sim,
+        bottom=CommandHistory.bottom(kv_conflict()),
+        n_coordinators=3,
+        n_acceptors=3,
+        liveness=LivenessConfig(),
+        reduce_disk_writes=reduce_disk_writes,
+    )
+    cluster.start_round(cluster.config.schedule.make_round(0, 1, 2))
+    workload = Workload.generate(WorkloadConfig(n_commands=30, period=4.0, seed=seed))
+    workload.schedule_on(cluster)
+    if with_recovery:
+        sim.schedule(50, lambda: cluster.acceptors[0].crash())
+        sim.schedule(70, lambda: cluster.acceptors[0].recover())
+    cluster.run_until_learned(workload.commands, timeout=20_000)
+    n_cmds = len(workload.commands)
+    coord_writes = sum(c.storage.write_count for c in cluster.coordinators)
+    vote_writes = sum(a.storage.write_counts["vval"] for a in cluster.acceptors)
+    round_writes = sum(
+        a.storage.write_counts["rnd"] + a.storage.write_counts["mcount"]
+        for a in cluster.acceptors
+    )
+    return {
+        "config": ("§4.4 reduced" if reduce_disk_writes else "naive rnd-on-disk")
+        + (" + recovery" if with_recovery else ""),
+        "coordinator writes": coord_writes,
+        "vote writes (total)": vote_writes,
+        "rnd/mcount writes": round_writes,
+        "vote writes / cmd / acceptor": vote_writes / n_cmds / len(cluster.acceptors),
+        "unlearned": sum(
+            1 for c in workload.commands if sim.metrics.learn_time(c) is None
+        ),
+    }
+
+
+def experiment_e6() -> list[Row]:
+    """Disk writes: coordinators never write; §4.4 removes phase-1b writes."""
+    return [
+        _e6_run(reduce_disk_writes=True, with_recovery=False),
+        _e6_run(reduce_disk_writes=False, with_recovery=False),
+        _e6_run(reduce_disk_writes=True, with_recovery=True),
+    ]
+
+
+# ---------------------------------------------------------------------------
+# E7 -- collision recovery cost (Sections 2.2, 4.2)
+# ---------------------------------------------------------------------------
+
+
+def _e7_run(strategy: str, seed: int) -> tuple[bool, float | None]:
+    """One forced-concurrency fast-round run; returns (collided, latency)."""
+    sim = Simulation(seed=seed, network=NetworkConfig(jitter=0.9))
+    uncoordinated = strategy == "uncoordinated"
+    recovery = {
+        "restart": "restart",
+        "coordinated": "coordinated",
+        "uncoordinated": "none",
+    }[strategy]
+    cluster = build_fast_paxos(
+        sim,
+        n_acceptors=4,
+        n_proposers=2,
+        fast_rounds=(lambda r: True) if uncoordinated else (lambda r: r == 1),
+        uncoordinated=uncoordinated,
+        recovery=recovery,
+    )
+    cluster.start_round(1)
+    a = Command("a", "put", "x", 1)
+    b = Command("b", "put", "x", 2)
+    cluster.propose(a, delay=6.0, proposer=0)
+    cluster.propose(b, delay=6.0, proposer=1)
+    decided = cluster.run_until_decided(timeout=500)
+    collided = (
+        sum(c.collisions_recovered for c in cluster.coordinators) > 0
+        or sum(acc.wasted_disk_writes for acc in cluster.acceptors) > 0
+    )
+    if not decided:
+        return collided, None
+    decision = cluster.decision()
+    return collided, sim.metrics.latency_of(decision)
+
+
+def experiment_e7(n_seeds: int = 40) -> list[Row]:
+    """Decision latency of collided fast rounds per recovery strategy."""
+    expectations = {"restart": 4, "coordinated": 2, "uncoordinated": 1}
+    rows: list[Row] = []
+    for strategy, extra in expectations.items():
+        latencies = []
+        collided_runs = 0
+        for seed in range(n_seeds):
+            collided, latency = _e7_run(strategy, seed)
+            if collided and latency is not None:
+                collided_runs += 1
+                latencies.append(latency)
+        rows.append(
+            {
+                "strategy": strategy,
+                "collided runs": collided_runs,
+                "mean latency (collided)": sum(latencies) / max(len(latencies), 1),
+                "paper extra steps": extra,
+            }
+        )
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# E8 -- round-type crossover (Section 4.5)
+# ---------------------------------------------------------------------------
+
+
+def _e8_run(mode: str, jitter: float, conflict_rate: float, seed: int = 6) -> Row:
+    sim = Simulation(seed=seed, network=NetworkConfig(jitter=jitter))
+    if mode == "fast":
+        cluster = _fast_generalized_cluster(sim)
+        rtype = 0
+    elif mode == "multicoordinated":
+        cluster = _multicoord_cluster(sim)
+        rtype = 2
+    else:
+        cluster = _multicoord_cluster(sim)
+        rtype = 1
+    cluster.start_round(cluster.config.schedule.make_round(0, 1, rtype))
+    workload = Workload.generate(
+        WorkloadConfig(
+            n_commands=24,
+            conflict_rate=conflict_rate,
+            arrival="burst",
+            burst_size=2,
+            period=8.0,
+            seed=seed,
+        )
+    )
+    workload.schedule_on(cluster)
+    cluster.run_until_learned(workload.commands, timeout=20_000)
+    learned = [c for c in workload.commands if sim.metrics.latency_of(c) is not None]
+    latencies = [sim.metrics.latency_of(c) for c in learned]
+    mean_hop = 1.0 + jitter / 2
+    return {
+        "round kind": mode,
+        "jitter": jitter,
+        "conflict rate": conflict_rate,
+        "mean latency (steps)": sum(latencies) / max(len(latencies), 1) / mean_hop,
+        "unlearned": len(workload.commands) - len(learned),
+    }
+
+
+def experiment_e8(
+    jitters: tuple[float, ...] = (0.0, 1.5),
+    conflict_rates: tuple[float, ...] = (0.0, 1.0),
+    seed: int = 6,
+) -> list[Row]:
+    """Clustered vs conflict-prone settings (Section 4.5)."""
+    rows: list[Row] = []
+    for mode in ("fast", "multicoordinated", "single-coordinated"):
+        for jitter in jitters:
+            for rate in conflict_rates:
+                rows.append(_e8_run(mode, jitter, rate, seed))
+    return rows
+
+
+ALL_EXPERIMENTS: dict[str, Callable[[], list[Row]]] = {
+    "E1 latency (steps)": experiment_e1,
+    "E2 quorum sizes": experiment_e2,
+    "E3 availability": experiment_e3,
+    "E4 load balance": experiment_e4,
+    "E5 collisions": experiment_e5,
+    "E5b wasted writes": experiment_e5_waste,
+    "E6 disk writes": experiment_e6,
+    "E7 recovery cost": experiment_e7,
+    "E8 crossover": experiment_e8,
+}

@@ -1,0 +1,32 @@
+"""Plain-text table formatting for experiment output."""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Sequence
+
+
+def _cell(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}".rstrip("0").rstrip(".") if value == value else "nan"
+    return str(value)
+
+
+def format_table(rows: Sequence[Mapping[str, Any]], title: str = "") -> str:
+    """Render dict rows as an aligned plain-text table."""
+    if not rows:
+        return f"{title}\n(no rows)" if title else "(no rows)"
+    columns = list(rows[0].keys())
+    rendered = [[_cell(row.get(col, "")) for col in columns] for row in rows]
+    widths = [
+        max(len(col), *(len(line[i]) for line in rendered))
+        for i, col in enumerate(columns)
+    ]
+    parts = []
+    if title:
+        parts.append(title)
+    header = " | ".join(col.ljust(widths[i]) for i, col in enumerate(columns))
+    parts.append(header)
+    parts.append("-+-".join("-" * w for w in widths))
+    for line in rendered:
+        parts.append(" | ".join(line[i].ljust(widths[i]) for i in range(len(columns))))
+    return "\n".join(parts)

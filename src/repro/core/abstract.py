@@ -1,0 +1,272 @@
+"""Executable Abstract Multicoordinated Paxos (Appendix A.2 / B.2).
+
+The paper proves Multicoordinated Paxos correct through a hierarchy of
+refinements whose top is *Abstract Multicoordinated Paxos*: a
+non-distributed specification over a ballot array ``bA``, a per-balnum
+``maxTried`` c-struct and per-learner ``learned`` c-structs.  This module
+is a direct executable translation:
+
+* :class:`BallotArray` with the paper's ``chosen at``, ``choosable at`` and
+  ``safe at`` predicates (Definitions 2-5);
+* :class:`AbstractMCPaxos` with the seven atomic actions
+  (``Propose``, ``JoinBallot``, ``StartBallot``, ``Suggest``,
+  ``ClassicVote``, ``FastVote``, ``AbstractLearn``), each guarded by its
+  enabling condition;
+* :meth:`AbstractMCPaxos.check_invariants`, asserting the ``maxTried``,
+  ``bA`` and ``learned`` invariants of Appendix A.2 plus the Generalized
+  Consensus safety properties (Propositions 2-4).
+
+Balnums here are plain integers 0..max_balnum (0 = Zero, at which every
+acceptor initially accepted ⊥), with an explicit fast/classic partition.
+The model is exercised by randomized action schedules in the test suite --
+a lightweight model-checking pass over the paper's proof obligations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import combinations
+from typing import Hashable, Iterable, Sequence
+
+from repro.cstruct.base import CStruct, glb_set, lub_set
+from repro.cstruct.commands import Command
+
+
+class ActionNotEnabled(RuntimeError):
+    """Raised when an abstract action's enabling condition does not hold."""
+
+
+@dataclass
+class AbstractQuorums:
+    """Per-balnum quorum sets for the abstract model (small n, enumerable)."""
+
+    acceptors: tuple[Hashable, ...]
+    classic_size: int
+    fast_size: int
+    fast_balnums: frozenset[int] = frozenset()
+
+    def is_fast(self, balnum: int) -> bool:
+        return balnum in self.fast_balnums
+
+    def quorums(self, balnum: int) -> Iterable[frozenset]:
+        size = self.fast_size if self.is_fast(balnum) else self.classic_size
+        for combo in combinations(self.acceptors, size):
+            yield frozenset(combo)
+
+
+class BallotArray:
+    """The ``bA`` structure: votes per acceptor per balnum, current balnums."""
+
+    def __init__(self, acceptors: Sequence[Hashable], bottom: CStruct) -> None:
+        self.acceptors = tuple(acceptors)
+        self.bottom = bottom
+        self.mbal: dict[Hashable, int] = {a: 0 for a in self.acceptors}
+        self.votes: dict[Hashable, dict[int, CStruct]] = {
+            a: {0: bottom} for a in self.acceptors
+        }
+
+    def vote(self, acceptor: Hashable, balnum: int) -> CStruct | None:
+        """``bA_a[m]``, or ``None`` for the paper's ``none``."""
+        return self.votes[acceptor].get(balnum)
+
+    def set_vote(self, acceptor: Hashable, balnum: int, value: CStruct) -> None:
+        self.votes[acceptor][balnum] = value
+
+    # -- Definitions 2-5 ----------------------------------------------------
+
+    def is_chosen_at(self, value: CStruct, balnum: int, quorums: AbstractQuorums) -> bool:
+        """Definition 3: some balnum-quorum accepted an extension of *value*."""
+        for quorum in quorums.quorums(balnum):
+            if all(
+                self.vote(a, balnum) is not None and value.leq(self.vote(a, balnum))
+                for a in quorum
+            ):
+                return True
+        return False
+
+    def is_chosen(self, value: CStruct, quorums: AbstractQuorums, max_balnum: int) -> bool:
+        return any(
+            self.is_chosen_at(value, m, quorums) for m in range(max_balnum + 1)
+        )
+
+    def is_choosable_at(self, value: CStruct, balnum: int, quorums: AbstractQuorums) -> bool:
+        """Definition 4: *value* is or can still become chosen at *balnum*."""
+        for quorum in quorums.quorums(balnum):
+            ok = True
+            for acceptor in quorum:
+                if self.mbal[acceptor] <= balnum:
+                    continue  # may still vote an extension of value at balnum
+                vote = self.vote(acceptor, balnum)
+                if vote is None or not value.leq(vote):
+                    ok = False
+                    break
+            if ok:
+                return True
+        return False
+
+    def is_safe_at(self, value: CStruct, balnum: int, quorums: AbstractQuorums) -> bool:
+        """Definition 5 via maximal choosable values.
+
+        For each lower balnum ``k`` and k-quorum ``Q``: if no member of
+        ``Q`` passed ``k`` then *every* c-struct is still choosable and
+        nothing is safe; if all constrained members voted, their glb is the
+        maximal choosable value through ``Q`` and must be ⊑ *value*.
+        """
+        for k in range(balnum):
+            for quorum in quorums.quorums(k):
+                constrained = [a for a in quorum if self.mbal[a] > k]
+                if not constrained:
+                    return False
+                votes = [self.vote(a, k) for a in constrained]
+                if any(v is None for v in votes):
+                    continue  # nothing choosable through this quorum
+                maximal = glb_set(votes)
+                if not maximal.leq(value):
+                    return False
+        return True
+
+
+@dataclass
+class AbstractMCPaxos:
+    """The abstract algorithm's state and atomic actions."""
+
+    quorums: AbstractQuorums
+    bottom: CStruct
+    learners: tuple[Hashable, ...]
+    max_balnum: int
+    prop_cmd: set[Command] = field(default_factory=set)
+    ballot_array: BallotArray = field(init=False)
+    max_tried: dict[int, CStruct | None] = field(init=False)
+    learned: dict[Hashable, CStruct] = field(init=False)
+    _learned_witnesses: dict[Hashable, list[CStruct]] = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.ballot_array = BallotArray(self.quorums.acceptors, self.bottom)
+        self.max_tried = {m: None for m in range(self.max_balnum + 1)}
+        self.max_tried[0] = self.bottom
+        self.learned = {l: self.bottom for l in self.learners}
+        self._learned_witnesses = {l: [self.bottom] for l in self.learners}
+
+    # -- actions -----------------------------------------------------------
+
+    def propose(self, cmd: Command) -> None:
+        """``Propose(C)``."""
+        if cmd in self.prop_cmd:
+            raise ActionNotEnabled(f"{cmd} already proposed")
+        self.prop_cmd.add(cmd)
+
+    def join_ballot(self, acceptor: Hashable, balnum: int) -> None:
+        """``JoinBallot(a, m)``."""
+        if self.ballot_array.mbal[acceptor] >= balnum:
+            raise ActionNotEnabled("balnum not above the acceptor's current one")
+        self.ballot_array.mbal[acceptor] = balnum
+
+    def start_ballot(self, balnum: int, value: CStruct) -> None:
+        """``StartBallot(m, w)``: first value tried at *balnum*."""
+        if self.max_tried[balnum] is not None:
+            raise ActionNotEnabled(f"balnum {balnum} already started")
+        if not value.command_set() <= self.prop_cmd:
+            raise ActionNotEnabled("value contains unproposed commands")
+        if not self.ballot_array.is_safe_at(value, balnum, self.quorums):
+            raise ActionNotEnabled("value is not safe at the balnum")
+        self.max_tried[balnum] = value
+
+    def suggest(self, balnum: int, cmds: Sequence[Command]) -> None:
+        """``Suggest(m, σ)``: extend maxTried[m] with proposed commands."""
+        if self.max_tried[balnum] is None:
+            raise ActionNotEnabled(f"balnum {balnum} not started")
+        if not set(cmds) <= self.prop_cmd:
+            raise ActionNotEnabled("σ contains unproposed commands")
+        self.max_tried[balnum] = self.max_tried[balnum].extend(cmds)
+
+    def classic_vote(self, acceptor: Hashable, balnum: int, value: CStruct) -> None:
+        """``ClassicVote(a, m, v)``."""
+        ba = self.ballot_array
+        if balnum < ba.mbal[acceptor]:
+            raise ActionNotEnabled("acceptor already in a higher balnum")
+        tried = self.max_tried[balnum]
+        if tried is None or not value.leq(tried):
+            raise ActionNotEnabled("value is not ⊑ maxTried[m]")
+        if not ba.is_safe_at(value, balnum, self.quorums):
+            raise ActionNotEnabled("value is not safe at m")
+        current = ba.vote(acceptor, balnum)
+        if current is not None and not current.leq(value):
+            raise ActionNotEnabled("value does not extend the current vote")
+        ba.set_vote(acceptor, balnum, value)
+        ba.mbal[acceptor] = balnum
+
+    def fast_vote(self, acceptor: Hashable, cmd: Command) -> None:
+        """``FastVote(a, C)``."""
+        ba = self.ballot_array
+        balnum = ba.mbal[acceptor]
+        if cmd not in self.prop_cmd:
+            raise ActionNotEnabled("command not proposed")
+        if not self.quorums.is_fast(balnum):
+            raise ActionNotEnabled("acceptor's current balnum is not fast")
+        current = ba.vote(acceptor, balnum)
+        if current is None:
+            raise ActionNotEnabled("no value accepted yet at the fast balnum")
+        ba.set_vote(acceptor, balnum, current.append(cmd))
+
+    def learn(self, learner: Hashable, value: CStruct) -> None:
+        """``AbstractLearn(l, v)``."""
+        if not self.ballot_array.is_chosen(value, self.quorums, self.max_balnum):
+            raise ActionNotEnabled("value is not chosen")
+        self.learned[learner] = self.learned[learner].lub(value)
+        self._learned_witnesses[learner].append(value)
+
+    # -- helper used by drivers ------------------------------------------------
+
+    def proved_safe(self, quorum: frozenset, balnum: int) -> list[CStruct]:
+        """``ProvedSafe(Q, m, bA)`` of the PaxosConstants module.
+
+        Returns pickable values for *balnum* given 1b information from
+        *quorum* (whose members must have joined *balnum*).
+        """
+        ba = self.ballot_array
+        lower = [
+            k
+            for k in range(balnum)
+            if any(ba.vote(a, k) is not None for a in quorum)
+        ]
+        k = max(lower)
+        reporters = {a for a in quorum if ba.vote(a, k) is not None}
+        rs = [
+            r for r in self.quorums.quorums(k) if (r & quorum) <= reporters and r & quorum
+        ]
+        if not rs:
+            return [ba.vote(a, k) for a in sorted(reporters)]
+        gamma = [glb_set([ba.vote(a, k) for a in r & quorum]) for r in rs]
+        return [lub_set(gamma)]
+
+    # -- invariants (Appendix A.2) ---------------------------------------------
+
+    def check_invariants(self) -> None:
+        """Assert the maxTried, bA and learned invariants and safety."""
+        ba = self.ballot_array
+        for m, tried in self.max_tried.items():
+            if tried is None:
+                continue
+            assert tried.command_set() <= self.prop_cmd, "maxTried: proposed"
+            assert ba.is_safe_at(tried, m, self.quorums), "maxTried: safe at m"
+        for acceptor in ba.acceptors:
+            for m, vote in ba.votes[acceptor].items():
+                if vote is None:
+                    continue
+                assert ba.is_safe_at(vote, m, self.quorums), "bA: safe at m"
+                if self.quorums.is_fast(m):
+                    assert vote.command_set() <= self.prop_cmd, "bA: fast proposed"
+                elif m > 0:
+                    tried = self.max_tried[m]
+                    assert tried is not None and vote.leq(tried), "bA: ⊑ maxTried"
+        chosen_witnesses: list[CStruct] = []
+        for learner in self.learners:
+            value = self.learned[learner]
+            assert value.command_set() <= self.prop_cmd, "learned: proposed"
+            witnesses = self._learned_witnesses[learner]
+            assert value == lub_set(witnesses), "learned: lub of chosen values"
+            chosen_witnesses.append(value)
+        # Consistency (Proposition 3): learned values pairwise compatible.
+        for i, a in enumerate(chosen_witnesses):
+            for b in chosen_witnesses[i + 1 :]:
+                assert a.is_compatible(b), "consistency: learned values compatible"

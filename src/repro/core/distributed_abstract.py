@@ -1,0 +1,278 @@
+"""Distributed Abstract Multicoordinated Paxos (Appendix A.3 / B.3).
+
+The middle layer of the paper's refinement proof: the abstract algorithm's
+single ``maxTried`` array is distributed into per-coordinator
+``dMaxTried[c][m]`` values, and interaction happens through an explicit
+message set (``msgs``).  Proposition 6 states that this algorithm
+implements Abstract Multicoordinated Paxos under the refinement mapping
+
+    ``Tried(Q, m)   = ⊓ { dMaxTried[c][m] : c ∈ Q }``  (None if any is None)
+    ``AllTried(m)   = { Tried(Q, m) : Q an m-coordquorum } \\ {None}``
+    ``maxTried[m]   = ⊔ AllTried(m)``  (None if AllTried(m) is empty)
+
+This module is a direct executable translation.  :meth:`DistAbstractMCPaxos.
+mapped_max_tried` computes the refinement mapping, and
+:meth:`check_refinement` asserts the abstract invariants (maxTried, bA,
+learned -- Appendix A.2) on the *mapped* state, which is exactly the proof
+obligation of Proposition 6.  The randomized tests drive long schedules of
+distributed actions and check the obligation after every step.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable, Sequence
+
+from repro.core.abstract import AbstractQuorums, ActionNotEnabled, BallotArray
+from repro.cstruct.base import CStruct, glb_set, lub_set
+from repro.cstruct.commands import Command
+
+
+@dataclass(frozen=True)
+class M1a:
+    balnum: int
+
+
+@dataclass(frozen=True)
+class M1b:
+    balnum: int
+    acceptor: Hashable
+    votes: tuple[tuple[int, CStruct], ...]  # the acceptor's vote vector
+
+
+@dataclass(frozen=True)
+class M2a:
+    balnum: int
+    coord: Hashable
+    val: CStruct
+
+
+@dataclass(frozen=True)
+class M2b:
+    balnum: int
+    acceptor: Hashable
+    val: CStruct
+
+
+@dataclass
+class DistAbstractMCPaxos:
+    """State and actions of the distributed abstract algorithm."""
+
+    quorums: AbstractQuorums
+    coordinators: tuple[Hashable, ...]
+    coord_quorums: dict[int, tuple[frozenset, ...]]  # balnum -> quorums
+    bottom: CStruct
+    learners: tuple[Hashable, ...]
+    max_balnum: int
+    prop_cmd: set[Command] = field(default_factory=set)
+    msgs: set = field(default_factory=set)
+    ballot_array: BallotArray = field(init=False)
+    d_max_tried: dict[Hashable, dict[int, CStruct | None]] = field(init=False)
+    learned: dict[Hashable, CStruct] = field(init=False)
+    _learned_witnesses: dict[Hashable, list[CStruct]] = field(init=False)
+
+    def __post_init__(self) -> None:
+        # The formal CoordQuorumAssumption (Appendix B.1.3) requires
+        # same-balnum coordinator quorums to intersect for *every* balnum
+        # (the prose relaxes this for fast rounds, but the refinement
+        # mapping ⊔AllTried(m) is only total under intersection).
+        for balnum, quorums in self.coord_quorums.items():
+            for p in quorums:
+                for q in quorums:
+                    if not p & q:
+                        raise ValueError(
+                            f"coordinator quorums of balnum {balnum} must "
+                            f"intersect (B.1.3): {set(p)} ∩ {set(q)} = ∅"
+                        )
+        self.ballot_array = BallotArray(self.quorums.acceptors, self.bottom)
+        self.d_max_tried = {
+            c: {m: (self.bottom if m == 0 else None) for m in range(self.max_balnum + 1)}
+            for c in self.coordinators
+        }
+        self.learned = {l: self.bottom for l in self.learners}
+        self._learned_witnesses = {l: [self.bottom] for l in self.learners}
+
+    # -- actions (Appendix A.3) -------------------------------------------------
+
+    def propose(self, cmd: Command) -> None:
+        if cmd in self.prop_cmd:
+            raise ActionNotEnabled(f"{cmd} already proposed")
+        self.prop_cmd.add(cmd)
+
+    def phase1a(self, coord: Hashable, balnum: int) -> None:
+        if self.d_max_tried[coord][balnum] is not None:
+            raise ActionNotEnabled("coordinator already tried a value at this balnum")
+        self.msgs.add(M1a(balnum))
+
+    def phase1b(self, acceptor: Hashable, balnum: int) -> None:
+        if self.ballot_array.mbal[acceptor] >= balnum:
+            raise ActionNotEnabled("acceptor already past this balnum")
+        if M1a(balnum) not in self.msgs:
+            raise ActionNotEnabled("no 1a message for this balnum")
+        self.ballot_array.mbal[acceptor] = balnum
+        votes = tuple(sorted(self.ballot_array.votes[acceptor].items()))
+        self.msgs.add(M1b(balnum, acceptor, votes))
+
+    def phase2start(
+        self,
+        coord: Hashable,
+        balnum: int,
+        quorum: frozenset,
+        suffix: Sequence[Command] = (),
+    ) -> CStruct:
+        """Pick ``v = w • σ`` with ``w ∈ ProvedSafe(Q, m, β)`` and send it."""
+        if self.d_max_tried[coord][balnum] is not None:
+            raise ActionNotEnabled("already started")
+        replies = {
+            msg.acceptor: msg
+            for msg in self.msgs
+            if isinstance(msg, M1b) and msg.balnum == balnum and msg.acceptor in quorum
+        }
+        if set(replies) != set(quorum):
+            raise ActionNotEnabled("1b messages missing for part of the quorum")
+        if not set(suffix) <= self.prop_cmd:
+            raise ActionNotEnabled("suffix contains unproposed commands")
+        safe = self._proved_safe(quorum, balnum, replies)
+        value = safe[0]
+        for cmd in suffix:
+            value = value.append(cmd)
+        self.d_max_tried[coord][balnum] = value
+        self.msgs.add(M2a(balnum, coord, value))
+        return value
+
+    def _proved_safe(
+        self, quorum: frozenset, balnum: int, replies: dict[Hashable, M1b]
+    ) -> list[CStruct]:
+        """``ProvedSafe(Q, m, β)`` over the 1b snapshot ballot array."""
+        snapshots = {acc: dict(msg.votes) for acc, msg in replies.items()}
+        lower = [
+            k
+            for k in range(balnum)
+            if any(k in snapshot for snapshot in snapshots.values())
+        ]
+        k = max(lower)
+        reporters = {acc for acc, snapshot in snapshots.items() if k in snapshot}
+        quorums_k = [
+            r
+            for r in self.quorums.quorums(k)
+            if (r & quorum) and (r & quorum) <= reporters
+        ]
+        if not quorums_k:
+            return [snapshots[acc][k] for acc in sorted(reporters)]
+        gamma = [
+            glb_set([snapshots[acc][k] for acc in sorted(r & quorum)])
+            for r in quorums_k
+        ]
+        return [lub_set(gamma)]
+
+    def phase2a_classic(self, coord: Hashable, balnum: int, cmd: Command) -> None:
+        if cmd not in self.prop_cmd:
+            raise ActionNotEnabled("command not proposed")
+        current = self.d_max_tried[coord][balnum]
+        if current is None:
+            raise ActionNotEnabled("phase 2 not started at this balnum")
+        grown = current.append(cmd)
+        self.d_max_tried[coord][balnum] = grown
+        self.msgs.add(M2a(balnum, coord, grown))
+
+    def phase2b_classic(self, acceptor: Hashable, balnum: int, quorum: frozenset) -> None:
+        """Accept the glb of a coordinator quorum's latest 2a values."""
+        ba = self.ballot_array
+        if balnum < ba.mbal[acceptor]:
+            raise ActionNotEnabled("acceptor already past this balnum")
+        if quorum not in self.coord_quorums.get(balnum, ()):
+            raise ActionNotEnabled("not a coordinator quorum of this balnum")
+        per_coord: dict[Hashable, CStruct] = {}
+        for msg in self.msgs:
+            if isinstance(msg, M2a) and msg.balnum == balnum and msg.coord in quorum:
+                best = per_coord.get(msg.coord)
+                if best is None or best.leq(msg.val):
+                    per_coord[msg.coord] = msg.val
+        if set(per_coord) != set(quorum):
+            raise ActionNotEnabled("2a messages missing for part of the quorum")
+        lower_bound = glb_set([per_coord[c] for c in sorted(per_coord, key=str)])
+        current = ba.vote(acceptor, balnum)
+        if current is None:
+            value = lower_bound
+        else:
+            if not current.is_compatible(lower_bound):
+                raise ActionNotEnabled("incompatible with the current vote")
+            value = current.lub(lower_bound)
+        ba.set_vote(acceptor, balnum, value)
+        ba.mbal[acceptor] = balnum
+        self.msgs.add(M2b(balnum, acceptor, value))
+
+    def phase2b_fast(self, acceptor: Hashable, cmd: Command) -> None:
+        ba = self.ballot_array
+        balnum = ba.mbal[acceptor]
+        if not self.quorums.is_fast(balnum):
+            raise ActionNotEnabled("current balnum is not fast")
+        current = ba.vote(acceptor, balnum)
+        if current is None:
+            raise ActionNotEnabled("nothing accepted yet at the fast balnum")
+        if cmd not in self.prop_cmd:
+            raise ActionNotEnabled("command not proposed")
+        value = current.append(cmd)
+        ba.set_vote(acceptor, balnum, value)
+        self.msgs.add(M2b(balnum, acceptor, value))
+
+    def learn(self, learner: Hashable, balnum: int, quorum: frozenset) -> None:
+        """Learn the glb of a quorum's latest 2b values."""
+        per_acc: dict[Hashable, CStruct] = {}
+        for msg in self.msgs:
+            if isinstance(msg, M2b) and msg.balnum == balnum and msg.acceptor in quorum:
+                best = per_acc.get(msg.acceptor)
+                if best is None or best.leq(msg.val):
+                    per_acc[msg.acceptor] = msg.val
+        if set(per_acc) != set(quorum):
+            raise ActionNotEnabled("2b messages missing for part of the quorum")
+        if quorum not in set(self.quorums.quorums(balnum)):
+            raise ActionNotEnabled("not an acceptor quorum of this balnum")
+        value = glb_set([per_acc[a] for a in sorted(per_acc, key=str)])
+        self.learned[learner] = self.learned[learner].lub(value)
+        self._learned_witnesses[learner].append(value)
+
+    # -- refinement mapping (Proposition 6) ----------------------------------------
+
+    def mapped_max_tried(self, balnum: int) -> CStruct | None:
+        """The abstract ``maxTried[m]`` induced by ``dMaxTried``."""
+        all_tried: list[CStruct] = []
+        for quorum in self.coord_quorums.get(balnum, ()):
+            tried_values = [self.d_max_tried[c][balnum] for c in quorum]
+            if any(v is None for v in tried_values):
+                continue
+            all_tried.append(glb_set(tried_values))
+        if balnum == 0:
+            return self.bottom
+        if not all_tried:
+            return None
+        return lub_set(all_tried)
+
+    def check_refinement(self) -> None:
+        """Assert the Appendix A.2 invariants on the mapped abstract state."""
+        ba = self.ballot_array
+        for m in range(self.max_balnum + 1):
+            tried = self.mapped_max_tried(m)
+            if tried is None:
+                continue
+            assert tried.command_set() <= self.prop_cmd, "maxTried: proposed"
+            assert ba.is_safe_at(tried, m, self.quorums), "maxTried: safe at m"
+        for acceptor in ba.acceptors:
+            for m, vote in ba.votes[acceptor].items():
+                if vote is None:
+                    continue
+                assert ba.is_safe_at(vote, m, self.quorums), "bA: safe at m"
+                if self.quorums.is_fast(m):
+                    assert vote.command_set() <= self.prop_cmd, "bA: fast proposed"
+                elif m > 0:
+                    tried = self.mapped_max_tried(m)
+                    assert tried is not None and vote.leq(tried), "bA: ⊑ maxTried"
+        values = []
+        for learner in self.learners:
+            value = self.learned[learner]
+            assert value.command_set() <= self.prop_cmd, "learned: proposed"
+            assert value == lub_set(self._learned_witnesses[learner])
+            values.append(value)
+        for i, left in enumerate(values):
+            for right in values[i + 1 :]:
+                assert left.is_compatible(right), "consistency"

@@ -1,0 +1,618 @@
+"""Multicoordinated Generalized Paxos (Section 3.2).
+
+The generalized algorithm agrees on an ever-growing c-struct instead of a
+single value, so one instance implements state-machine replication: every
+proposed command is eventually *contained* in every learner's learned
+c-struct, and learned c-structs are mutually compatible.
+
+Round taxonomy (the engine subsumes the whole Paxos family):
+
+* single-coordinated classic rounds + ``AlwaysConflict`` histories
+  ≈ Classic Paxos as a total-order broadcast protocol;
+* single-coordinated classic + fast rounds ≈ Generalized Paxos
+  (Section 2.3), deployed by :func:`repro.protocols.generalized.
+  build_generalized_paxos`;
+* multicoordinated classic rounds -- the paper's contribution: phase 2a is
+  executed by every coordinator of the round, and an acceptor accepts the
+  *glb* of the c-structs received from a full coordinator quorum
+  (``u = ⊓ L2aVals``), extending its previous value with ``⊔`` when
+  compatible.
+
+Collisions (Section 4.2): in a multicoordinated round, coordinators that
+receive commuting commands in different orders forward *compatible*
+c-structs, and the glb simply defers the commands that have not yet reached
+a full quorum -- no harm done.  Only *conflicting* commands received in
+different orders make the forwarded c-structs incompatible; acceptors
+detect this before accepting anything (no wasted disk write, unlike
+fast-round collisions) and react as if a phase "1a" for the next round had
+been received.
+
+Liveness (Section 4.3): coordinators optionally run the failure detector of
+:mod:`repro.core.liveness`; the leader starts a higher (by default
+single-coordinated) round when commands stay unserved past a timeout,
+which covers leader crashes, coordinator-quorum loss and persistent
+collisions with one mechanism.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import combinations
+from math import comb
+from typing import Callable, Hashable
+
+from repro.core.liveness import FailureDetector, Heartbeat, LivenessConfig
+from repro.core.messages import Learned, Nack, Phase1a, Phase1b, Phase2a, Phase2b, Propose
+from repro.core.provedsafe import proved_safe
+from repro.core.quorums import QuorumSystem
+from repro.core.rounds import ZERO, RoundId, RoundSchedule
+from repro.core.topology import Topology
+from repro.cstruct.base import CStruct, glb_set
+from repro.cstruct.commands import Command
+from repro.sim.process import Process
+from repro.sim.scheduler import Simulation
+
+
+@dataclass
+class GeneralizedConfig:
+    """Static configuration of one generalized deployment."""
+
+    topology: Topology
+    quorums: QuorumSystem
+    schedule: RoundSchedule
+    bottom: CStruct
+    send_2b_to_coordinators: bool = True
+    reduce_disk_writes: bool = True
+    liveness: LivenessConfig | None = None
+    learner_enumeration_limit: int = 64
+
+    def __post_init__(self) -> None:
+        if tuple(sorted(self.quorums.acceptors)) != tuple(sorted(self.topology.acceptors)):
+            raise ValueError("quorum system must be defined over the topology's acceptors")
+
+
+class GenProposer(Process):
+    """Proposes commands; optionally picks per-command quorums (Section 4.1)."""
+
+    def __init__(self, pid: str, sim: Simulation, config: GeneralizedConfig) -> None:
+        super().__init__(pid, sim)
+        self.config = config
+        self.balance_load = False
+        self.balance_fast = False  # pick fast-sized acceptor quorums instead
+
+    def propose(self, cmd: Command) -> None:
+        self.metrics.record_propose(cmd, self.now)
+        coord_quorum = None
+        acceptor_quorum = None
+        if self.balance_load:
+            coord_quorum, acceptor_quorum = self._pick_quorums()
+        msg = Propose(cmd, coord_quorum=coord_quorum, acceptor_quorum=acceptor_quorum)
+        # Every coordinator hears the proposal (the leader's stuck
+        # detection needs it); only the chosen quorum forwards it.
+        self.broadcast(self.config.topology.coordinators, msg)
+        self.broadcast(self.config.topology.acceptors, msg)
+
+    def _pick_quorums(self) -> tuple[frozenset[int], frozenset[str]]:
+        """Uniformly choose one coordinator quorum and one acceptor quorum."""
+        rng = self.sim.rng
+        coords = list(self.config.schedule.coordinators)
+        c_size = len(coords) // 2 + 1
+        coord_quorum = frozenset(rng.sample(coords, c_size))
+        accs = list(self.config.topology.acceptors)
+        a_size = self.config.quorums.quorum_size(fast=self.balance_fast)
+        acceptor_quorum = frozenset(rng.sample(accs, a_size))
+        return coord_quorum, acceptor_quorum
+
+
+class GenCoordinator(Process):
+    """A coordinator of the generalized algorithm."""
+
+    def __init__(
+        self, pid: str, sim: Simulation, config: GeneralizedConfig, index: int
+    ) -> None:
+        super().__init__(pid, sim)
+        self.config = config
+        self.index = index
+        self.crnd: RoundId = ZERO
+        self.cval: CStruct | None = None
+        self.highest_seen: RoundId = ZERO
+        self.known_cmds: list[Command] = []
+        self.rounds_started = 0
+        self._p1b: dict[RoundId, dict[Hashable, Phase1b]] = {}
+        self._acceptor_hint: dict[Command, frozenset[str]] = {}
+        # Liveness state.
+        self._fd: FailureDetector | None = None
+        self._unserved: dict[Command, float] = {}
+        self._learned_cmds: set[Command] = set()
+        self._last_round_change = 0.0
+        if config.liveness is not None:
+            peers = list(enumerate(config.topology.coordinators))
+            self._fd = FailureDetector(
+                self, index, peers, config.liveness, on_check=self._progress_check
+            )
+            self._fd.start()
+
+    # -- round management ------------------------------------------------------
+
+    def start_round(self, rnd: RoundId) -> None:
+        """Phase1a(c, i)."""
+        if not self.config.schedule.is_coordinator_of(self.index, rnd):
+            raise ValueError(f"coordinator {self.index} does not coordinate {rnd}")
+        if rnd <= self.crnd:
+            raise ValueError(f"round {rnd} is not above current round {self.crnd}")
+        self._adopt(rnd)
+        self.rounds_started += 1
+        self._last_round_change = self.now
+        self.broadcast(self.config.topology.acceptors, Phase1a(rnd))
+
+    def _adopt(self, rnd: RoundId) -> None:
+        self.crnd = rnd
+        self.cval = None
+        self.highest_seen = max(self.highest_seen, rnd)
+
+    # -- proposals (Phase2aClassic) ------------------------------------------------
+
+    def on_propose(self, msg: Propose, src: Hashable) -> None:
+        cmd = msg.cmd
+        if cmd not in self._unserved and cmd not in self._learned_cmds:
+            self._unserved[cmd] = self.now
+        if msg.coord_quorum is not None and self.index not in msg.coord_quorum:
+            return
+        if cmd not in self.known_cmds:
+            self.known_cmds.append(cmd)
+            if msg.acceptor_quorum is not None:
+                self._acceptor_hint[cmd] = msg.acceptor_quorum
+        self._forward_pending()
+
+    def _forward_pending(self) -> None:
+        """Append known commands to cval and send the grown c-struct."""
+        if self.cval is None or self.crnd == ZERO:
+            return
+        if self.config.schedule.is_fast(self.crnd):
+            return  # proposers talk to acceptors directly in fast rounds
+        if not self.config.schedule.is_coordinator_of(self.index, self.crnd):
+            return
+        grown = self.cval
+        appended: list[Command] = []
+        for cmd in self.known_cmds:
+            if not grown.contains(cmd):
+                grown = grown.append(cmd)
+                appended.append(cmd)
+        if not appended:
+            return
+        self.cval = grown
+        for cmd in appended:
+            self.metrics.count_command_handled(self.pid)
+        targets = self._targets_for(appended)
+        self.broadcast(targets, Phase2a(self.crnd, grown, self.index))
+
+    def _targets_for(self, appended: list[Command]) -> tuple[str, ...]:
+        """Acceptors to notify: the union of the commands' quorum hints."""
+        hints = [self._acceptor_hint.get(cmd) for cmd in appended]
+        if any(hint is None for hint in hints):
+            return self.config.topology.acceptors
+        union: set[str] = set()
+        for hint in hints:
+            union |= hint
+        return tuple(sorted(union))
+
+    # -- phase 1b / Phase2Start ---------------------------------------------------
+
+    def on_phase1b(self, msg: Phase1b, src: Hashable) -> None:
+        rnd = msg.rnd
+        self.highest_seen = max(self.highest_seen, rnd)
+        if not self.config.schedule.is_coordinator_of(self.index, rnd):
+            return
+        if rnd > self.crnd:
+            self._adopt(rnd)
+        if rnd != self.crnd or self.cval is not None:
+            return
+        self._p1b.setdefault(rnd, {})[msg.acceptor] = msg
+        msgs = self._p1b[rnd]
+        if len(msgs) < self.config.quorums.classic_quorum_size:
+            return
+        self._phase2start(msgs)
+
+    def _phase2start(self, msgs: dict[Hashable, Phase1b]) -> None:
+        """Pick ``v = w • σ`` with ``w ∈ ProvedSafe(Q, 1bMsg)`` and send it."""
+        picks = proved_safe(self.config.quorums, msgs, self.config.schedule.is_fast)
+        value = max(picks, key=lambda v: (len(v.command_set()), str(v)))
+        if not self.config.schedule.is_fast(self.crnd):
+            for cmd in self.known_cmds:
+                if not value.contains(cmd):
+                    value = value.append(cmd)
+        self.cval = value
+        self.broadcast(
+            self.config.topology.acceptors, Phase2a(self.crnd, value, self.index)
+        )
+
+    # -- monitoring / liveness ----------------------------------------------------
+
+    def on_phase2b(self, msg: Phase2b, src: Hashable) -> None:
+        self.highest_seen = max(self.highest_seen, msg.rnd)
+
+    def on_learned(self, msg: Learned, src: Hashable) -> None:
+        """A learner's progress report: these commands need no recovery."""
+        for cmd in msg.cmds:
+            self._learned_cmds.add(cmd)
+            self._unserved.pop(cmd, None)
+
+    def on_heartbeat(self, msg: Heartbeat, src: Hashable) -> None:
+        if self._fd is not None:
+            self._fd.on_heartbeat(msg)
+
+    def on_nack(self, msg: Nack, src: Hashable) -> None:
+        self.highest_seen = max(self.highest_seen, msg.higher)
+
+    def is_leader(self) -> bool:
+        return self._fd.is_leader() if self._fd is not None else self.index == 0
+
+    def _progress_check(self) -> None:
+        """Leader-only: start a recovery round when commands stay unserved."""
+        liveness = self.config.liveness
+        if liveness is None or not self.is_leader():
+            return
+        if self.now - self._last_round_change < liveness.stuck_timeout:
+            return
+        stuck = [
+            cmd
+            for cmd, since in self._unserved.items()
+            if self.now - since > liveness.stuck_timeout
+        ]
+        if not stuck:
+            return
+        base = max(self.highest_seen, self.crnd)
+        rnd = RoundId(
+            mcount=base.mcount,
+            count=base.count + 1,
+            coord=self.index,
+            rtype=liveness.recovery_rtype,
+        )
+        self.start_round(rnd)
+
+    # -- crash-recovery -------------------------------------------------------------
+
+    def on_crash(self) -> None:
+        """Coordinators keep *no* stable state (Section 4.4)."""
+        self.crnd = ZERO
+        self.cval = None
+        self.known_cmds = []
+        self._p1b = {}
+        self._unserved = {}
+        self._learned_cmds = set()
+
+    def on_recover(self) -> None:
+        if self._fd is not None:
+            self._fd.start()
+
+
+class GenAcceptor(Process):
+    """An acceptor of the generalized algorithm."""
+
+    def __init__(self, pid: str, sim: Simulation, config: GeneralizedConfig) -> None:
+        super().__init__(pid, sim)
+        self.config = config
+        self.rnd: RoundId = ZERO
+        self.vrnd: RoundId = ZERO
+        self.vval: CStruct = config.bottom
+        self.pending: list[Command] = []
+        self.collisions_detected = 0
+        self.fast_accepts = 0
+        self.commands_accepted = 0  # distinct commands this acceptor accepted
+        self._p2a: dict[RoundId, dict[int, CStruct]] = {}
+        self._collided: set[RoundId] = set()
+        self.storage.write("mcount", 0)
+
+    # -- phase 1 ---------------------------------------------------------------------
+
+    def on_phase1a(self, msg: Phase1a, src: Hashable) -> None:
+        if msg.rnd <= self.rnd:
+            if msg.rnd < self.rnd:
+                self.send(src, Nack(msg.rnd, self.rnd, self.pid))
+            return
+        self._advance_round(msg.rnd)
+        self._send_1b(msg.rnd)
+
+    def _send_1b(self, rnd: RoundId) -> None:
+        coords = self.config.topology.coordinator_pids(
+            self.config.schedule.coordinators_of(rnd)
+        )
+        self.broadcast(coords, Phase1b(rnd, self.vrnd, self.vval, self.pid))
+
+    def _advance_round(self, rnd: RoundId) -> None:
+        previous = self.rnd
+        self.rnd = rnd
+        if self.config.reduce_disk_writes:
+            if rnd.mcount > previous.mcount:
+                self.storage.write("mcount", rnd.mcount)
+        else:
+            self.storage.write("rnd", rnd)
+
+    # -- phase 2b (classic) ------------------------------------------------------------
+
+    def on_phase2a(self, msg: Phase2a, src: Hashable) -> None:
+        rnd = msg.rnd
+        if rnd < self.rnd:
+            self.send(src, Nack(rnd, self.rnd, self.pid))
+            return
+        buffer = self._p2a.setdefault(rnd, {})
+        # A coordinator's cval grows monotonically within a round, but the
+        # network may reorder its "2a" messages; keep the largest seen so a
+        # stale message cannot regress the buffer.
+        previous = buffer.get(msg.coord)
+        if previous is None or previous.leq(msg.val):
+            buffer[msg.coord] = msg.val
+        elif not msg.val.leq(previous):
+            buffer[msg.coord] = msg.val  # incompatible: surface the collision
+        if self._detect_collision(rnd, buffer):
+            return
+        if self.config.schedule.is_fast(rnd):
+            # Fast rounds: a single coordinator's "2a" suffices (Section 3.3).
+            self._accept_classic(rnd, msg.val)
+            self._try_fast_append()
+            return
+        senders = frozenset(buffer)
+        for quorum in self.config.schedule.coord_quorums(rnd):
+            if quorum <= senders:
+                lower_bound = glb_set([buffer[c] for c in sorted(quorum)])
+                self._accept_classic(rnd, lower_bound)
+
+    def _detect_collision(self, rnd: RoundId, buffer: dict[int, CStruct]) -> bool:
+        """Multicoordinated collision: incompatible c-structs from one round."""
+        if self.config.schedule.is_fast(rnd) or rnd in self._collided:
+            return False
+        values = sorted(buffer.items())
+        incompatible = any(
+            not va.is_compatible(vb)
+            for i, (_, va) in enumerate(values)
+            for _, vb in values[i + 1 :]
+        )
+        if not incompatible:
+            return False
+        self._collided.add(rnd)
+        self.collisions_detected += 1
+        next_rnd = self.config.schedule.next_round(rnd)
+        if next_rnd > self.rnd:
+            self._advance_round(next_rnd)
+            self._send_1b(next_rnd)
+        return True
+
+    def _accept_classic(self, rnd: RoundId, lower_bound: CStruct) -> None:
+        """Phase2bClassic(a, i): accept ``u``, merging via ⊔ within a round."""
+        if rnd < self.rnd:
+            return
+        if self.vrnd == rnd:
+            if not self.vval.is_compatible(lower_bound):
+                return
+            new_value = self.vval.lub(lower_bound)
+        else:
+            new_value = lower_bound
+        if self.vrnd == rnd and new_value == self.vval:
+            return  # nothing new to accept or report
+        self.commands_accepted += len(
+            new_value.command_set() - self.vval.command_set()
+        )
+        self._advance_round(rnd)
+        self.vrnd = rnd
+        self.vval = new_value
+        self._persist_vote()
+        self._broadcast_2b()
+
+    # -- phase 2b (fast) ---------------------------------------------------------------
+
+    def on_propose(self, msg: Propose, src: Hashable) -> None:
+        if msg.acceptor_quorum is not None and self.pid not in msg.acceptor_quorum:
+            return
+        if msg.cmd not in self.pending:
+            self.pending.append(msg.cmd)
+        self._try_fast_append()
+
+    def _try_fast_append(self) -> None:
+        """Phase2bFast(a): extend vval with proposals in an open fast round."""
+        if not self.config.schedule.is_fast(self.rnd) or self.vrnd != self.rnd:
+            return
+        grown = self.vval
+        for cmd in self.pending:
+            if not grown.contains(cmd):
+                grown = grown.append(cmd)
+                self.fast_accepts += 1
+                self.commands_accepted += 1
+        if grown == self.vval:
+            return
+        self.vval = grown
+        self._persist_vote()
+        self._broadcast_2b()
+
+    # -- shared helpers --------------------------------------------------------------
+
+    def _persist_vote(self) -> None:
+        self.storage.write_many({"vrnd": self.vrnd, "vval": self.vval})
+        self.metrics.custom["acceptor_disk_writes"] += 1
+
+    def _broadcast_2b(self) -> None:
+        vote = Phase2b(self.vrnd, self.vval, self.pid)
+        self.broadcast(self.config.topology.learners, vote)
+        if self.config.send_2b_to_coordinators:
+            coords = self.config.topology.coordinator_pids(
+                self.config.schedule.coordinators_of(self.vrnd)
+            )
+            self.broadcast(coords, vote)
+
+    # -- crash-recovery -----------------------------------------------------------------
+
+    def on_crash(self) -> None:
+        self.rnd = ZERO
+        self.vrnd = ZERO
+        self.vval = self.config.bottom
+        self.pending = []
+        self._p2a = {}
+        self._collided = set()
+
+    def on_recover(self) -> None:
+        self.vrnd = self.storage.read("vrnd", ZERO)
+        self.vval = self.storage.read("vval", self.config.bottom)
+        if self.config.reduce_disk_writes:
+            mcount = self.storage.read("mcount", 0) + 1
+            self.storage.write("mcount", mcount)
+            self.rnd = RoundId(mcount=mcount, count=0, coord=-1, rtype=0)
+        else:
+            self.rnd = self.storage.read("rnd", ZERO)
+
+
+class GenLearner(Process):
+    """Learns ever-growing c-structs from quorums of "2b" messages."""
+
+    def __init__(self, pid: str, sim: Simulation, config: GeneralizedConfig) -> None:
+        super().__init__(pid, sim)
+        self.config = config
+        self.learned: CStruct = config.bottom
+        self._latest: dict[RoundId, dict[Hashable, CStruct]] = {}
+        self._callbacks: list[Callable[[tuple[Command, ...], CStruct], None]] = []
+
+    def on_learn(self, callback: Callable[[tuple[Command, ...], CStruct], None]) -> None:
+        """Register ``callback(new_commands, learned)`` for learn events."""
+        self._callbacks.append(callback)
+
+    def on_phase2b(self, msg: Phase2b, src: Hashable) -> None:
+        votes = self._latest.setdefault(msg.rnd, {})
+        # An acceptor's vval grows monotonically within a round; a reordered
+        # older "2b" must not regress the recorded vote.
+        previous = votes.get(msg.acceptor)
+        if previous is None or previous.leq(msg.val):
+            votes[msg.acceptor] = msg.val
+        needed = self.config.quorums.quorum_size(
+            fast=self.config.schedule.is_fast(msg.rnd)
+        )
+        if len(votes) < needed:
+            return
+        new_learned = self.learned
+        for chosen in self._chosen_candidates(votes, needed):
+            if not new_learned.is_compatible(chosen):
+                raise AssertionError(
+                    f"learner {self.pid}: chosen value incompatible with learned "
+                    f"({chosen} vs {new_learned})"
+                )
+            new_learned = new_learned.lub(chosen)
+        if new_learned == self.learned:
+            return
+        previous = self.learned
+        self.learned = new_learned
+        fresh = tuple(
+            cmd for cmd in new_learned.command_set() - previous.command_set()
+        )
+        for cmd in fresh:
+            self.metrics.record_learn(cmd, self.pid, self.now)
+        if self.config.send_2b_to_coordinators and fresh:
+            # Progress report for the Section 4.3 stuck-command detection.
+            self.broadcast(
+                self.config.topology.coordinators, Learned(fresh, self.pid)
+            )
+        if isinstance(new_learned, type(previous)) and hasattr(new_learned, "delta_after"):
+            ordered = new_learned.delta_after(previous)  # type: ignore[attr-defined]
+        else:
+            ordered = fresh
+        for callback in self._callbacks:
+            callback(tuple(ordered), new_learned)
+
+    def _chosen_candidates(
+        self, votes: dict[Hashable, CStruct], needed: int
+    ) -> list[CStruct]:
+        """Glbs over acceptor quorums among the reporting acceptors.
+
+        Every glb over a full quorum is *chosen* (Definition 3), hence
+        learnable.  All quorums are enumerated when cheap; otherwise the
+        quorum of acceptors with the largest accepted c-structs is used
+        (sound -- any quorum works -- just possibly less eager).
+        """
+        senders = sorted(votes)
+        if comb(len(senders), needed) <= self.config.learner_enumeration_limit:
+            groups = combinations(senders, needed)
+        else:
+            by_size = sorted(
+                senders, key=lambda acc: len(votes[acc].command_set()), reverse=True
+            )
+            groups = [tuple(sorted(by_size[:needed]))]
+        return [glb_set([votes[acc] for acc in group]) for group in groups]
+
+
+@dataclass
+class GeneralizedCluster:
+    """A deployed generalized instance plus driving helpers."""
+
+    sim: Simulation
+    config: GeneralizedConfig
+    proposers: list[GenProposer]
+    coordinators: list[GenCoordinator]
+    acceptors: list[GenAcceptor]
+    learners: list[GenLearner]
+    _proposal_index: int = field(default=0)
+
+    def propose(self, cmd: Command, delay: float = 0.0, proposer: int | None = None) -> None:
+        if proposer is None:
+            proposer = self._proposal_index % len(self.proposers)
+            self._proposal_index += 1
+        agent = self.proposers[proposer]
+        self.sim.schedule(delay, lambda: agent.propose(cmd))
+
+    def start_round(self, rnd: RoundId, coordinator: int | None = None, delay: float = 0.0) -> None:
+        index = rnd.coord if coordinator is None else coordinator
+        agent = self.coordinators[index]
+        self.sim.schedule(delay, lambda: agent.start_round(rnd))
+
+    def set_load_balancing(self, enabled: bool) -> None:
+        for proposer in self.proposers:
+            proposer.balance_load = enabled
+
+    def learned_structs(self) -> list[CStruct]:
+        return [l.learned for l in self.learners]
+
+    def everyone_learned(self, cmds) -> bool:
+        return all(
+            all(l.learned.contains(cmd) for cmd in cmds) for l in self.learners
+        )
+
+    def run_until_learned(self, cmds, timeout: float = 2_000.0) -> bool:
+        cmds = list(cmds)
+        return self.sim.run_until(lambda: self.everyone_learned(cmds), timeout=timeout)
+
+    def total_acceptor_disk_writes(self) -> int:
+        return sum(a.storage.write_count for a in self.acceptors)
+
+
+def build_generalized(
+    sim: Simulation,
+    bottom: CStruct,
+    n_proposers: int = 2,
+    n_coordinators: int = 3,
+    n_acceptors: int = 3,
+    n_learners: int = 2,
+    schedule: RoundSchedule | None = None,
+    f: int | None = None,
+    e: int | None = None,
+    liveness: LivenessConfig | None = None,
+    reduce_disk_writes: bool = True,
+) -> GeneralizedCluster:
+    """Deploy a Multicoordinated Generalized Paxos instance on *sim*."""
+    topology = Topology.build(n_proposers, n_coordinators, n_acceptors, n_learners)
+    quorums = QuorumSystem(topology.acceptors, f=f, e=e)
+    if schedule is None:
+        schedule = RoundSchedule(range(n_coordinators), recovery_rtype=1)
+    config = GeneralizedConfig(
+        topology=topology,
+        quorums=quorums,
+        schedule=schedule,
+        bottom=bottom,
+        liveness=liveness,
+        reduce_disk_writes=reduce_disk_writes,
+    )
+    return GeneralizedCluster(
+        sim=sim,
+        config=config,
+        proposers=[GenProposer(pid, sim, config) for pid in topology.proposers],
+        coordinators=[
+            GenCoordinator(pid, sim, config, index)
+            for index, pid in enumerate(topology.coordinators)
+        ],
+        acceptors=[GenAcceptor(pid, sim, config) for pid in topology.acceptors],
+        learners=[GenLearner(pid, sim, config) for pid in topology.learners],
+    )

@@ -1,0 +1,115 @@
+"""Run-level safety oracles for the distributed protocols.
+
+These checkers attach to a :class:`repro.sim.scheduler.Simulation` via
+``add_invariant_check`` and verify, after *every* processed event, the
+safety properties of (Generalized) Consensus as defined in Sections 2.1.1
+and 2.3.2:
+
+* Nontriviality -- learned values are built from proposed commands only;
+* Stability -- a learner's value only ever grows (or, for consensus, never
+  changes once set);
+* Consistency -- learned values are pairwise compatible (equal, for
+  consensus).
+
+Randomized tests with crashes, message loss and duplication run under these
+oracles, so every delivered message is checked against the paper's proof
+obligations rather than only the final state.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable
+
+from repro.cstruct.base import CStruct
+
+
+class SafetyViolation(AssertionError):
+    """A safety property of the paper was violated during a run."""
+
+
+class ConsensusInvariants:
+    """Oracle for the consensus protocols (single learned value)."""
+
+    def __init__(self, learners: Iterable, proposed: Iterable[Hashable]) -> None:
+        self.learners = list(learners)
+        self.proposed = set(proposed)
+        self._snapshots: dict[Hashable, Hashable] = {}
+
+    def allow(self, cmd: Hashable) -> None:
+        """Register another proposed value (for incremental workloads)."""
+        self.proposed.add(cmd)
+
+    def __call__(self, sim) -> None:
+        decided = []
+        for learner in self.learners:
+            value = learner.learned
+            if value is None:
+                continue
+            if value not in self.proposed:
+                raise SafetyViolation(
+                    f"nontriviality: {learner.pid} learned unproposed {value!r}"
+                )
+            previous = self._snapshots.get(learner.pid)
+            if previous is not None and previous != value:
+                raise SafetyViolation(
+                    f"stability: {learner.pid} changed {previous!r} -> {value!r}"
+                )
+            self._snapshots[learner.pid] = value
+            decided.append((learner.pid, value))
+        for i, (pid_a, val_a) in enumerate(decided):
+            for pid_b, val_b in decided[i + 1 :]:
+                if val_a != val_b:
+                    raise SafetyViolation(
+                        f"consistency: {pid_a} learned {val_a!r} but {pid_b} "
+                        f"learned {val_b!r}"
+                    )
+
+
+class GeneralizedInvariants:
+    """Oracle for the generalized protocols (learned c-structs)."""
+
+    def __init__(self, learners: Iterable, proposed: Iterable = ()) -> None:
+        self.learners = list(learners)
+        self.proposed = set(proposed)
+        self._snapshots: dict[Hashable, CStruct] = {}
+
+    def allow(self, cmd) -> None:
+        self.proposed.add(cmd)
+
+    def __call__(self, sim) -> None:
+        values: list[tuple[Hashable, CStruct]] = []
+        for learner in self.learners:
+            value: CStruct = learner.learned
+            if not value.command_set() <= self.proposed:
+                extra = value.command_set() - self.proposed
+                raise SafetyViolation(
+                    f"nontriviality: {learner.pid} learned unproposed {extra!r}"
+                )
+            previous = self._snapshots.get(learner.pid)
+            if previous is not None and not previous.leq(value):
+                raise SafetyViolation(
+                    f"stability: {learner.pid} regressed {previous} -> {value}"
+                )
+            self._snapshots[learner.pid] = value
+            values.append((learner.pid, value))
+        for i, (pid_a, val_a) in enumerate(values):
+            for pid_b, val_b in values[i + 1 :]:
+                if not val_a.is_compatible(val_b):
+                    raise SafetyViolation(
+                        f"consistency: {pid_a}'s {val_a} incompatible with "
+                        f"{pid_b}'s {val_b}"
+                    )
+
+
+def attach_consensus_oracle(sim, cluster, proposed: Iterable[Hashable]) -> ConsensusInvariants:
+    """Attach a :class:`ConsensusInvariants` oracle to *sim* and return it."""
+    oracle = ConsensusInvariants(cluster.learners, proposed)
+    sim.add_invariant_check(oracle)
+    return oracle
+
+
+def attach_generalized_oracle(sim, cluster, proposed: Iterable = ()) -> GeneralizedInvariants:
+    """Attach a :class:`GeneralizedInvariants` oracle to *sim* and return it."""
+    oracle = GeneralizedInvariants(cluster.learners, proposed)
+    sim.add_invariant_check(oracle)
+    return oracle

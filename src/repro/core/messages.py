@@ -1,0 +1,111 @@
+"""Protocol messages.
+
+The message vocabulary of Sections 2 and 3: ``⟨propose⟩``, ``⟨1a⟩``,
+``⟨1b⟩``, ``⟨2a⟩``, ``⟨2b⟩``, plus the ``Nack`` extension of Section 4.3
+(acceptors notify senders of stale rounds so a leader learns its round is
+too low).  Message classes are frozen dataclasses; handler dispatch uses
+the lower-cased class name (see :class:`repro.sim.process.Process`).
+
+``val`` fields carry either a single command (the consensus protocols of
+Sections 2.1, 2.2 and 3.1), a c-struct (the generalized protocols of
+Sections 2.3 and 3.2), or the distinguished :data:`ANY` value of fast
+rounds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Hashable
+
+from repro.core.rounds import RoundId
+
+
+class _AnyValue:
+    """The special ``Any`` value of fast-round phase "2a" messages."""
+
+    _instance: "_AnyValue | None" = None
+
+    def __new__(cls) -> "_AnyValue":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "ANY"
+
+
+ANY = _AnyValue()
+
+
+@dataclass(frozen=True)
+class Propose:
+    """⟨propose, C⟩ from a proposer to coordinators (and acceptors).
+
+    ``coord_quorum``/``acceptor_quorum`` are the optional load-balancing
+    hints of Section 4.1: the proposer picks one quorum of coordinators and
+    one of acceptors and piggybacks the latter so the chosen coordinators
+    forward the command to exactly those acceptors.
+    """
+
+    cmd: Hashable
+    coord_quorum: frozenset[int] | None = None
+    acceptor_quorum: frozenset[str] | None = None
+
+
+@dataclass(frozen=True)
+class Phase1a:
+    """⟨1a, i⟩ from a coordinator to the acceptors."""
+
+    rnd: RoundId
+
+
+@dataclass(frozen=True)
+class Phase1b:
+    """⟨1b, i, vval, vrnd⟩ from an acceptor to the coordinators of *i*."""
+
+    rnd: RoundId
+    vrnd: RoundId
+    vval: Any
+    acceptor: Hashable
+
+
+@dataclass(frozen=True)
+class Phase2a:
+    """⟨2a, i, val⟩ from coordinator *coord* to the acceptors."""
+
+    rnd: RoundId
+    val: Any
+    coord: int
+    acceptor_quorum: frozenset[str] | None = field(default=None, compare=False)
+
+
+@dataclass(frozen=True)
+class Phase2b:
+    """⟨2b, i, val⟩ from an acceptor to the learners (and coordinators)."""
+
+    rnd: RoundId
+    val: Any
+    acceptor: Hashable
+
+
+@dataclass(frozen=True)
+class Nack:
+    """Stale-round notification (Section 4.3 liveness extension)."""
+
+    rnd: RoundId
+    higher: RoundId
+    acceptor: Hashable
+
+
+@dataclass(frozen=True)
+class Learned:
+    """Learner → coordinator notification of newly learned commands.
+
+    Supports the Section 4.3 stuck-command detection: the leader starts a
+    higher round only for commands that were proposed but never *learned*
+    (mere acceptance is not enough -- a collided fast round has every
+    command accepted by every acceptor, in incompatible orders).
+    """
+
+    cmds: tuple[Hashable, ...]
+    learner: Hashable

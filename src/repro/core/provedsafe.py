@@ -1,0 +1,136 @@
+"""Value-picking rules executed by coordinators at the start of phase 2.
+
+Two rules are implemented:
+
+* :func:`pick_value` -- the Fast Paxos rule for plain consensus
+  (Section 2.2's three-case analysis), used by Multicoordinated Paxos for
+  consensus (Section 3.1) and by the Fast Paxos baseline;
+* :func:`proved_safe` -- Definition 1's ``ProvedSafe(Q, 1bMsg)`` over
+  c-structs, used by the generalized protocols (Section 3.2).
+
+Both are written for cardinality quorums.  The key quantity is the minimal
+realizable intersection between the phase-1 quorum ``Q`` and a k-quorum
+``R``: ``m = |Q| + q_k - n`` where ``q_k`` is the k-quorum size.  Section
+3.3.2 states the special cases ``m = n - 2F`` (classic ``k``, ``|Q| = n-F``)
+and ``m = n - 2E`` (fast ``k``); we compute ``m`` from the actual sizes,
+which also covers phase-1 quorums larger than minimal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+from typing import Any, Hashable, Mapping, Sequence
+
+from repro.core.messages import Phase1b
+from repro.core.quorums import QuorumSystem
+from repro.core.rounds import ZERO, RoundId
+from repro.cstruct.base import CStruct, glb_set, lub_set
+
+
+@dataclass(frozen=True)
+class Pick:
+    """Outcome of the consensus picking rule.
+
+    ``free`` means any proposed value is pickable (cases "no value chosen
+    or choosable at k"); otherwise ``value`` is the unique pickable value.
+    """
+
+    free: bool
+    value: Any = None
+
+
+def pick_value(
+    quorums: QuorumSystem,
+    msgs: Mapping[Hashable, Phase1b],
+    k_is_fast,
+) -> Pick:
+    """The Fast Paxos coordinator rule (Section 2.2).
+
+    Args:
+        quorums: The acceptor quorum system.
+        msgs: Phase "1b" messages, one per acceptor of the phase-1 quorum.
+        k_is_fast: Callable classifying a :class:`RoundId` as fast.
+
+    Returns:
+        A :class:`Pick`; raises if the Fast Quorum Requirement was violated
+        (two values provably choosable at ``k``).
+    """
+    if not msgs:
+        raise ValueError("picking requires at least one 1b message")
+    k = max(msg.vrnd for msg in msgs.values())
+    if k == ZERO:
+        return Pick(free=True)
+    k_reporters = {acc: msg for acc, msg in msgs.items() if msg.vrnd == k}
+    q_k = quorums.quorum_size(fast=bool(k_is_fast(k)))
+    min_inter = len(msgs) + q_k - quorums.n
+    if min_inter <= 0:
+        raise ValueError(
+            "quorum assumptions violated: a k-quorum may not intersect Q "
+            f"(|Q|={len(msgs)}, q_k={q_k}, n={quorums.n})"
+        )
+    votes: dict[Any, int] = {}
+    for msg in k_reporters.values():
+        votes[msg.vval] = votes.get(msg.vval, 0) + 1
+    candidates = [value for value, count in votes.items() if count >= min_inter]
+    if len(candidates) > 1:
+        raise ValueError(
+            f"Fast Quorum Requirement violated: {candidates} all choosable at {k}"
+        )
+    if not candidates:
+        return Pick(free=True)
+    return Pick(free=False, value=candidates[0])
+
+
+def proved_safe(
+    quorums: QuorumSystem,
+    msgs: Mapping[Hashable, Phase1b],
+    k_is_fast,
+    max_enumeration: int = 512,
+) -> list[CStruct]:
+    """``ProvedSafe(Q, 1bMsg)`` from Definition 1 (Section 3.2).
+
+    Returns the non-empty set of pickable c-structs for the round whose
+    phase 1 collected *msgs* from quorum ``Q = msgs.keys()``:
+
+    * if no realizable ``Q ∩ R`` (R a k-quorum) reported ``vrnd = k``
+      unanimously, any reported value with ``vrnd = k`` is pickable;
+    * otherwise the lub of the glbs over those intersections is the unique
+      pickable c-struct.
+
+    Only minimal intersections (size ``m = |Q| + q_k - n``) are
+    enumerated: the glb over a superset is ⊑ the glb over a subset, so the
+    lub over all intersections equals the lub over the minimal ones.  When
+    the enumeration would exceed *max_enumeration* subsets, sampled subsets
+    anchored at each sorted offset are used instead (still sound -- every
+    glb over a realizable intersection is safe -- merely less precise).
+    """
+    if not msgs:
+        raise ValueError("ProvedSafe requires at least one 1b message")
+    k = max(msg.vrnd for msg in msgs.values())
+    k_acceptors = sorted(acc for acc, msg in msgs.items() if msg.vrnd == k)
+    vals = {acc: msgs[acc].vval for acc in k_acceptors}
+    q_k = quorums.quorum_size(fast=bool(k_is_fast(k))) if k != ZERO else quorums.classic_quorum_size
+    min_inter = len(msgs) + q_k - quorums.n
+    if min_inter <= 0:
+        raise ValueError(
+            "quorum assumptions violated: a k-quorum may not intersect Q "
+            f"(|Q|={len(msgs)}, q_k={q_k}, n={quorums.n})"
+        )
+    if len(k_acceptors) < min_inter:
+        # QinterRAtk is empty: nothing was or can be chosen at k.
+        return [vals[acc] for acc in k_acceptors]
+    subsets: Sequence[tuple] = list(_bounded_combinations(k_acceptors, min_inter, max_enumeration))
+    gamma = [glb_set([vals[acc] for acc in subset]) for subset in subsets]
+    return [lub_set(gamma)]
+
+
+def _bounded_combinations(items: Sequence, size: int, limit: int):
+    """All size-*size* combinations, or a sliding-window sample if too many."""
+    from math import comb
+
+    if comb(len(items), size) <= limit:
+        yield from combinations(items, size)
+        return
+    for start in range(len(items) - size + 1):
+        yield tuple(items[start : start + size])

@@ -1,0 +1,147 @@
+"""Acceptor and coordinator quorum systems (Assumptions 1, 2 and 3).
+
+Following Section 3.3 we use cardinality-based quorums.  With ``n``
+acceptors, ``F`` the number of failures that must not prevent progress and
+``E`` the number of failures that still allows *fast* termination:
+
+* a classic quorum is any set of ``n - F`` acceptors,
+* a fast quorum is any set of ``n - E`` acceptors,
+* Assumption 1 (classic intersection) requires ``n > 2F``,
+* Assumption 2 (fast intersection) additionally requires ``n > 2E + F``.
+
+The defaults maximize resilience: ``F = ⌈n/2⌉ - 1`` (majority quorums) and
+``E`` the largest value with ``2E + F < n``.  Experiment E2 sweeps these
+formulas and checks the paper's headline sizes (fast quorums ≥ ⌈3n/4⌉ when
+classic quorums are majorities; ⌈(2n+1)/3⌉ when E = F).
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Iterable, Iterator, Sequence
+
+
+class QuorumSystem:
+    """Cardinality quorums over a fixed acceptor set."""
+
+    def __init__(
+        self,
+        acceptors: Sequence,
+        f: int | None = None,
+        e: int | None = None,
+    ) -> None:
+        self.acceptors = tuple(sorted(acceptors))
+        n = len(self.acceptors)
+        if n == 0:
+            raise ValueError("need at least one acceptor")
+        if f is None:
+            f = (n - 1) // 2
+        if e is None:
+            e = max((n - f - 1) // 2, 0)
+        if f < 0 or e < 0:
+            raise ValueError("failure tolerances must be non-negative")
+        if e > f:
+            raise ValueError(f"fast tolerance E={e} cannot exceed classic tolerance F={f}")
+        if n <= 2 * f:
+            raise ValueError(f"Assumption 1 violated: need n > 2F (n={n}, F={f})")
+        if n <= 2 * e + f:
+            raise ValueError(f"Assumption 2 violated: need n > 2E + F (n={n}, E={e}, F={f})")
+        self.n = n
+        self.f = f
+        self.e = e
+
+    # -- sizes ---------------------------------------------------------------
+
+    @property
+    def classic_quorum_size(self) -> int:
+        return self.n - self.f
+
+    @property
+    def fast_quorum_size(self) -> int:
+        return self.n - self.e
+
+    def quorum_size(self, fast: bool) -> int:
+        return self.fast_quorum_size if fast else self.classic_quorum_size
+
+    def min_intersection(self, size_a: int, size_b: int) -> int:
+        """Smallest possible intersection of sets of the given sizes."""
+        return size_a + size_b - self.n
+
+    # -- membership ------------------------------------------------------------
+
+    def is_quorum(self, members: Iterable, fast: bool = False) -> bool:
+        members = set(members) & set(self.acceptors)
+        return len(members) >= self.quorum_size(fast)
+
+    def quorums(self, fast: bool = False) -> Iterator[frozenset]:
+        """Enumerate the minimal quorums (for model checking; small n only)."""
+        size = self.quorum_size(fast)
+        for combo in combinations(self.acceptors, size):
+            yield frozenset(combo)
+
+    # -- verification ---------------------------------------------------------
+
+    def check_assumptions(self, exhaustive: bool = False) -> None:
+        """Assert Assumptions 1 and 2.
+
+        The cardinality arithmetic is always checked; with
+        ``exhaustive=True`` the quorum sets are enumerated and intersected
+        explicitly (tests use this for small n).
+        """
+        assert self.min_intersection(self.classic_quorum_size, self.classic_quorum_size) >= 1
+        assert self.min_intersection(self.classic_quorum_size, self.fast_quorum_size) >= 1
+        assert (
+            2 * self.fast_quorum_size + self.classic_quorum_size - 2 * self.n >= 1
+        ), "Assumption 2: Q ∩ R1 ∩ R2 must be non-empty for fast R1, R2"
+        if not exhaustive:
+            return
+        classic = list(self.quorums(fast=False))
+        fast = list(self.quorums(fast=True))
+        for q in classic + fast:
+            for r in classic + fast:
+                assert q & r, f"Assumption 1/2 violated: {q} ∩ {r} = ∅"
+        for q in classic + fast:
+            for r1 in fast:
+                for r2 in fast:
+                    assert q & r1 & r2, "Assumption 2 violated (triple intersection)"
+
+    def __repr__(self) -> str:
+        return f"QuorumSystem(n={self.n}, F={self.f}, E={self.e})"
+
+
+class CoordinatorQuorums:
+    """Helper for Assumption 3 checks over explicit coordinator quorums."""
+
+    def __init__(self, quorums: Sequence[frozenset]) -> None:
+        self.quorums = tuple(frozenset(q) for q in quorums)
+        if not self.quorums:
+            raise ValueError("need at least one coordinator quorum")
+
+    def check_assumption(self) -> None:
+        """Assert Assumption 3: same-round classic quorums intersect."""
+        for p in self.quorums:
+            for q in self.quorums:
+                assert p & q, f"Assumption 3 violated: {p} ∩ {q} = ∅"
+
+    def covered_by(self, members: frozenset) -> bool:
+        return any(q <= members for q in self.quorums)
+
+
+def paper_quorum_sizes(n: int) -> dict[str, int]:
+    """Headline quorum sizes from Section 2.2 for *n* acceptors.
+
+    Returns the classic-majority configuration (F maximal) and the derived
+    fast quorum size, plus the balanced configuration where every quorum is
+    both fast and classic (size ⌈(2n+1)/3⌉).
+    """
+    f = (n - 1) // 2
+    e = (n - f - 1) // 2
+    balanced = -(-(2 * n + 1) // 3)  # ceil((2n+1)/3)
+    return {
+        "n": n,
+        "F": f,
+        "E": e,
+        "classic_quorum": n - f,
+        "fast_quorum": n - e,
+        "balanced_quorum": balanced,
+    }

@@ -1,0 +1,50 @@
+"""Deployment topology: naming and addressing of protocol agents.
+
+A :class:`Topology` fixes the process identifiers of the four agent roles
+(Section 2.1: proposers, coordinators, acceptors, learners) within one
+simulation.  Coordinator *indices* (integers, used inside round numbers and
+coordinator quorums) map to process ids here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+
+@dataclass(frozen=True)
+class Topology:
+    """Process ids per role."""
+
+    proposers: tuple[str, ...]
+    coordinators: tuple[str, ...]
+    acceptors: tuple[str, ...]
+    learners: tuple[str, ...]
+
+    @classmethod
+    def build(
+        cls,
+        n_proposers: int,
+        n_coordinators: int,
+        n_acceptors: int,
+        n_learners: int,
+    ) -> "Topology":
+        return cls(
+            proposers=tuple(f"prop{i}" for i in range(n_proposers)),
+            coordinators=tuple(f"coord{i}" for i in range(n_coordinators)),
+            acceptors=tuple(f"acc{i}" for i in range(n_acceptors)),
+            learners=tuple(f"learn{i}" for i in range(n_learners)),
+        )
+
+    @property
+    def coordinator_indices(self) -> tuple[int, ...]:
+        return tuple(range(len(self.coordinators)))
+
+    def coordinator_pid(self, index: int) -> str:
+        return self.coordinators[index]
+
+    def coordinator_pids(self, indices: Iterable[int]) -> list[str]:
+        return [self.coordinators[i] for i in sorted(indices)]
+
+    def coordinator_index(self, pid: str) -> int:
+        return self.coordinators.index(pid)

@@ -1,0 +1,58 @@
+"""C-structs: the data structures of Generalized Consensus (paper Section 2.3.1).
+
+A c-struct set is defined by a bottom element, a set of commands, an append
+operator ``•`` and axioms CS0-CS4.  This package provides:
+
+* :mod:`repro.cstruct.commands` -- commands and conflict relations;
+* :mod:`repro.cstruct.base` -- the abstract :class:`CStruct` interface,
+  set-level glb/lub helpers and an executable axiom checker;
+* :mod:`repro.cstruct.value` -- the consensus c-struct set (single values);
+* :mod:`repro.cstruct.cset` -- command sets (all commands commute);
+* :mod:`repro.cstruct.seq` -- command sequences (total-order broadcast);
+* :mod:`repro.cstruct.history` -- command histories under a conflict
+  relation (generic broadcast, Section 3.3), with direct glb/lub
+  implementations;
+* :mod:`repro.cstruct.history_ops` -- the paper's recursive ``Prefix``,
+  ``AreCompatible`` and ``⊔`` operators (Section 3.3.1), kept verbatim and
+  property-tested equivalent to the direct implementations.
+"""
+
+from repro.cstruct.base import (
+    CStruct,
+    IncompatibleError,
+    check_axioms,
+    glb_set,
+    is_compatible_set,
+    lub_set,
+)
+from repro.cstruct.commands import (
+    AlwaysConflict,
+    Command,
+    ConflictRelation,
+    CustomConflict,
+    KeyConflict,
+    NeverConflict,
+)
+from repro.cstruct.cset import CommandSet
+from repro.cstruct.history import CommandHistory
+from repro.cstruct.seq import CommandSequence
+from repro.cstruct.value import ValueStruct
+
+__all__ = [
+    "AlwaysConflict",
+    "CStruct",
+    "Command",
+    "CommandHistory",
+    "CommandSequence",
+    "CommandSet",
+    "ConflictRelation",
+    "CustomConflict",
+    "IncompatibleError",
+    "KeyConflict",
+    "NeverConflict",
+    "ValueStruct",
+    "check_axioms",
+    "glb_set",
+    "is_compatible_set",
+    "lub_set",
+]

@@ -1,0 +1,96 @@
+"""Commands and conflict relations.
+
+Commands are the elements proposed to the agreement protocols.  A conflict
+relation (Section 3.3: the symmetric relation ``≍``) states which pairs of
+commands must be ordered; commuting pairs may be learned in either order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, FrozenSet
+
+
+@dataclass(frozen=True, order=True)
+class Command:
+    """An application command.
+
+    Attributes:
+        cid: Unique command identifier (ties break deterministically on it).
+        op: Operation name, e.g. ``"put"``, ``"get"``, ``"inc"``.
+        key: The datum the operation touches (used by key-based conflicts).
+        arg: Optional hashable operation argument.
+    """
+
+    cid: str
+    op: str = "put"
+    key: str = ""
+    arg: Any = None
+
+    def __str__(self) -> str:
+        suffix = f"={self.arg}" if self.arg is not None else ""
+        target = f"({self.key}){suffix}" if self.key else suffix
+        return f"{self.op}{target}#{self.cid}"
+
+
+class ConflictRelation:
+    """Base class for symmetric conflict relations over commands."""
+
+    def conflicts(self, a: Command, b: Command) -> bool:
+        raise NotImplementedError
+
+    def __call__(self, a: Command, b: Command) -> bool:
+        return self.conflicts(a, b)
+
+
+@dataclass(frozen=True)
+class AlwaysConflict(ConflictRelation):
+    """Every pair of distinct commands conflicts (total order / consensus)."""
+
+    def conflicts(self, a: Command, b: Command) -> bool:
+        return a != b
+
+
+@dataclass(frozen=True)
+class NeverConflict(ConflictRelation):
+    """No commands conflict (command-set semantics)."""
+
+    def conflicts(self, a: Command, b: Command) -> bool:
+        return False
+
+
+@dataclass(frozen=True)
+class KeyConflict(ConflictRelation):
+    """Commands conflict iff they touch the same key and one of them writes.
+
+    Read-only operations (``op`` in :attr:`read_ops`) commute with each
+    other; everything else on the same key conflicts.  This is the classic
+    generic-broadcast conflict relation for a replicated key-value store.
+    """
+
+    read_ops: FrozenSet[str] = frozenset({"get", "read"})
+
+    def conflicts(self, a: Command, b: Command) -> bool:
+        if a == b:
+            return False
+        if a.key != b.key:
+            return False
+        both_reads = a.op in self.read_ops and b.op in self.read_ops
+        return not both_reads
+
+
+@dataclass(frozen=True)
+class CustomConflict(ConflictRelation):
+    """Conflict relation defined by an arbitrary symmetric predicate.
+
+    The predicate is symmetrized defensively (``fn(a, b) or fn(b, a)``), so
+    callers may pass one-sided definitions.  Equality of two
+    ``CustomConflict`` instances is identity of the predicate.
+    """
+
+    fn: Callable[[Command, Command], bool] = field(compare=True)
+
+    def conflicts(self, a: Command, b: Command) -> bool:
+        if a == b:
+            return False
+        return bool(self.fn(a, b) or self.fn(b, a))

@@ -1,0 +1,62 @@
+"""Command-set c-structs: every pair of commands commutes.
+
+The simplest non-trivial c-struct set from Section 2.3.1: c-structs are
+finite subsets of ``Cmd``, ``⊥`` is the empty set and ``v • C`` adds ``C``.
+The extension order is subset inclusion; all c-structs are compatible,
+``⊓`` is intersection and ``⊔`` is union.  Equivalent to
+:class:`repro.cstruct.history.CommandHistory` under
+:class:`repro.cstruct.commands.NeverConflict`, but kept as an independent,
+obviously-correct implementation for cross-validation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cstruct.base import CStruct
+from repro.cstruct.commands import Command
+
+
+@dataclass(frozen=True)
+class CommandSet(CStruct):
+    """An unordered set of commands."""
+
+    cmds: frozenset[Command] = field(default_factory=frozenset)
+
+    @classmethod
+    def bottom(cls) -> "CommandSet":
+        return cls(frozenset())
+
+    @classmethod
+    def of(cls, *cmds: Command) -> "CommandSet":
+        return cls(frozenset(cmds))
+
+    def append(self, cmd: Command) -> "CommandSet":
+        if cmd in self.cmds:
+            return self
+        return CommandSet(self.cmds | {cmd})
+
+    def leq(self, other: CStruct) -> bool:
+        if not isinstance(other, CommandSet):
+            return NotImplemented
+        return self.cmds <= other.cmds
+
+    def glb(self, other: "CommandSet") -> "CommandSet":
+        return CommandSet(self.cmds & other.cmds)
+
+    def lub(self, other: "CommandSet") -> "CommandSet":
+        return CommandSet(self.cmds | other.cmds)
+
+    def is_compatible(self, other: CStruct) -> bool:
+        return isinstance(other, CommandSet)
+
+    def contains(self, cmd: Command) -> bool:
+        return cmd in self.cmds
+
+    def command_set(self) -> frozenset[Command]:
+        return self.cmds
+
+    def __str__(self) -> str:
+        if not self.cmds:
+            return "⊥"
+        return "{" + ", ".join(sorted(str(c) for c in self.cmds)) + "}"

@@ -1,0 +1,330 @@
+"""Command histories: the c-struct set of generic broadcast (Section 3.3).
+
+A command history is a partially ordered set of commands in which every
+conflicting pair (under a :class:`repro.cstruct.commands.ConflictRelation`)
+is ordered.  Following Section 3.3.1 we represent histories as command
+sequences; a sequence denotes the poset in which ``a ≺ b`` iff ``a`` and
+``b`` conflict and ``a`` occurs first.
+
+Semantics of the representation
+-------------------------------
+
+Two sequences denote the same history iff they contain the same commands
+and order every conflicting pair identically; ``CommandHistory``
+canonicalizes its sequence (a deterministic minimal-key linear extension of
+the conflict order) so that ``__eq__``/``__hash__`` are structural.
+
+The extension order has a direct characterization which all operators are
+built on.  ``h ⊑ g`` (``g = h • σ`` for some σ) iff:
+
+1. ``set(h) ⊆ set(g)``;
+2. every conflicting pair of ``h`` keeps its relative order in ``g``;
+3. every command of ``g`` outside ``h`` that conflicts with a command of
+   ``h`` occurs after it in ``g`` (appended commands follow all conflicting
+   existing ones).
+
+From this characterization:
+
+* ``glb`` is computed by a greedy scan of one operand keeping exactly the
+  commands whose conflicting context agrees in both histories;
+* compatibility and ``lub`` are computed on the *conflict-constraint
+  digraph* over the union of commands (edges force the order of every
+  conflicting pair as dictated by conditions 2-3); the histories are
+  compatible iff the digraph is acyclic, and the lub is any linear
+  extension (they all denote the same history).
+
+The paper's recursive ``Prefix``/``AreCompatible``/``⊔`` operators are kept
+verbatim in :mod:`repro.cstruct.history_ops` and property-tested equivalent
+to these direct implementations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from repro.cstruct.base import CStruct, IncompatibleError
+from repro.cstruct.commands import Command, ConflictRelation
+
+
+def _sort_key(cmd: Command) -> tuple:
+    """Deterministic total order on commands used for canonicalization."""
+    return (cmd.cid, cmd.op, cmd.key, repr(cmd.arg))
+
+
+def _canonical(seq: Sequence[Command], conflict: ConflictRelation) -> tuple[Command, ...]:
+    """Deterministic linear extension of the conflict order of *seq*.
+
+    Repeatedly emits the minimal-key command among those all of whose
+    conflicting predecessors (earlier conflicting commands in *seq*) have
+    already been emitted.  Equivalent sequences (same commands, same order
+    of conflicting pairs) canonicalize identically because the candidate
+    sets depend only on the induced partial order.
+    """
+    remaining = list(dict.fromkeys(seq))  # dedupe, keep first occurrence
+    placed: list[Command] = []
+    while remaining:
+        best_index = -1
+        best_key: tuple | None = None
+        for index, cmd in enumerate(remaining):
+            blocked = any(conflict(prev, cmd) for prev in remaining[:index])
+            if blocked:
+                continue
+            key = _sort_key(cmd)
+            if best_key is None or key < best_key:
+                best_key = key
+                best_index = index
+        placed.append(remaining.pop(best_index))
+    return tuple(placed)
+
+
+@dataclass(frozen=True)
+class CommandHistory(CStruct):
+    """A command history represented by its canonical command sequence."""
+
+    cmds: tuple[Command, ...]
+    conflict: ConflictRelation
+    _set: frozenset[Command] = field(
+        init=False, repr=False, compare=False, default=frozenset()
+    )
+
+    def __post_init__(self) -> None:
+        canonical = _canonical(self.cmds, self.conflict)
+        object.__setattr__(self, "cmds", canonical)
+        object.__setattr__(self, "_set", frozenset(canonical))
+
+    # -- construction -------------------------------------------------------
+
+    @classmethod
+    def _trusted(
+        cls, cmds: tuple[Command, ...], conflict: ConflictRelation
+    ) -> "CommandHistory":
+        """Build from an already-canonical sequence, skipping O(n^3) work.
+
+        Used by :meth:`append`, :meth:`glb` and :meth:`lub`, whose outputs
+        are canonical by construction: ``append`` performs a canonical
+        insert; ``glb`` keeps a subsequence whose greedy candidate sets
+        match the original's (any kept command has no dropped conflicting
+        predecessor); ``lub`` emits a min-key Kahn order, which *is* the
+        canonical greedy order.  Property tests verify each claim against
+        full re-canonicalization.
+        """
+        obj = object.__new__(cls)
+        object.__setattr__(obj, "cmds", cmds)
+        object.__setattr__(obj, "conflict", conflict)
+        object.__setattr__(obj, "_set", frozenset(cmds))
+        return obj
+
+    @classmethod
+    def bottom(cls, conflict: ConflictRelation) -> "CommandHistory":
+        """The empty history ⊥ for the given conflict relation."""
+        return cls((), conflict)
+
+    @classmethod
+    def of(cls, conflict: ConflictRelation, *cmds: Command) -> "CommandHistory":
+        """``⊥ • ⟨cmds⟩``."""
+        return cls.bottom(conflict).extend(cmds)
+
+    def append(self, cmd: Command) -> "CommandHistory":
+        """``self • cmd``: add *cmd* after every conflicting existing command."""
+        if cmd in self._set:
+            return self
+        # Canonical insert: cmd must follow its last conflicting element;
+        # after that point it precedes the first element with a larger key.
+        last_conflict = -1
+        for index, existing in enumerate(self.cmds):
+            if self.conflict(existing, cmd):
+                last_conflict = index
+        position = len(self.cmds)
+        key = _sort_key(cmd)
+        for index in range(last_conflict + 1, len(self.cmds)):
+            if key < _sort_key(self.cmds[index]):
+                position = index
+                break
+        new_cmds = self.cmds[:position] + (cmd,) + self.cmds[position:]
+        return CommandHistory._trusted(new_cmds, self.conflict)
+
+    # -- order ----------------------------------------------------------------
+
+    def leq(self, other: CStruct) -> bool:
+        if not isinstance(other, CommandHistory):
+            return NotImplemented
+        self._require_same_relation(other)
+        if not self._set <= other._set:
+            return False
+        position = {cmd: index for index, cmd in enumerate(other.cmds)}
+        # Conflicting pairs of self keep their order in other.
+        for i, a in enumerate(self.cmds):
+            for b in self.cmds[i + 1 :]:
+                if self.conflict(a, b) and position[a] > position[b]:
+                    return False
+        # Commands of other outside self follow every conflicting self command.
+        for extra in other.cmds:
+            if extra in self._set:
+                continue
+            for mine in self.cmds:
+                if self.conflict(extra, mine) and position[extra] < position[mine]:
+                    return False
+        return True
+
+    # -- lattice ----------------------------------------------------------------
+
+    def glb(self, other: "CommandHistory") -> "CommandHistory":
+        """Greatest lower bound: the longest common prefix history.
+
+        Greedy scan of ``self``: a command is kept iff it appears in both
+        histories, no conflicting earlier command of ``self`` was dropped,
+        and all of its conflicting predecessors in ``other`` were kept.
+        """
+        self._require_same_relation(other)
+        other_position = {cmd: index for index, cmd in enumerate(other.cmds)}
+        kept: list[Command] = []
+        kept_set: set[Command] = set()
+        dropped: list[Command] = []
+        for cmd in self.cmds:
+            if cmd not in other._set:
+                dropped.append(cmd)
+                continue
+            if any(self.conflict(cmd, d) for d in dropped):
+                dropped.append(cmd)
+                continue
+            predecessors = (
+                d
+                for d in other.cmds[: other_position[cmd]]
+                if self.conflict(d, cmd)
+            )
+            if any(d not in kept_set for d in predecessors):
+                dropped.append(cmd)
+                continue
+            kept.append(cmd)
+            kept_set.add(cmd)
+        return CommandHistory._trusted(tuple(kept), self.conflict)
+
+    def _constraint_edges(
+        self, other: "CommandHistory"
+    ) -> dict[Command, set[Command]] | None:
+        """Edges u→v forcing u before v in any common upper bound.
+
+        Returns ``None`` when two constraints contradict (a 2-cycle), which
+        already implies incompatibility.
+        """
+        union = list(dict.fromkeys(self.cmds + other.cmds))
+        pos_self = {cmd: index for index, cmd in enumerate(self.cmds)}
+        pos_other = {cmd: index for index, cmd in enumerate(other.cmds)}
+        edges: dict[Command, set[Command]] = {cmd: set() for cmd in union}
+
+        def required_order(u: Command, v: Command, pos: dict) -> int:
+            """-1: u before v; 1: v before u; 0: no constraint from this side."""
+            u_in, v_in = u in pos, v in pos
+            if u_in and v_in:
+                return -1 if pos[u] < pos[v] else 1
+            if u_in:
+                return -1  # v is appended after conflicting u
+            if v_in:
+                return 1
+            return 0
+
+        for i, u in enumerate(union):
+            for v in union[i + 1 :]:
+                if not self.conflict(u, v):
+                    continue
+                order_a = required_order(u, v, pos_self)
+                order_b = required_order(u, v, pos_other)
+                if order_a and order_b and order_a != order_b:
+                    return None
+                order = order_a or order_b
+                if order == -1:
+                    edges[u].add(v)
+                else:
+                    edges[v].add(u)
+        return edges
+
+    def is_compatible(self, other: CStruct) -> bool:
+        if not isinstance(other, CommandHistory):
+            return False
+        self._require_same_relation(other)
+        edges = self._constraint_edges(other)
+        if edges is None:
+            return False
+        return _topological_order(edges) is not None
+
+    def lub(self, other: "CommandHistory") -> "CommandHistory":
+        self._require_same_relation(other)
+        edges = self._constraint_edges(other)
+        order = _topological_order(edges) if edges is not None else None
+        if order is None:
+            raise IncompatibleError(f"histories are incompatible: {self} vs {other}")
+        return CommandHistory._trusted(tuple(order), self.conflict)
+
+    # -- contents ---------------------------------------------------------------
+
+    def contains(self, cmd: Command) -> bool:
+        return cmd in self._set
+
+    def command_set(self) -> frozenset[Command]:
+        return self._set
+
+    def linear_extension(self) -> tuple[Command, ...]:
+        """A sequential execution order consistent with the partial order."""
+        return self.cmds
+
+    def delta_after(self, prefix: "CommandHistory") -> tuple[Command, ...]:
+        """Commands of ``self`` not in *prefix*, in execution order.
+
+        With ``prefix ⊑ self`` the concatenation of *prefix*'s execution
+        order and this delta is a linear extension of ``self`` -- the basis
+        of incremental command execution in replicas.
+        """
+        return tuple(cmd for cmd in self.cmds if cmd not in prefix._set)
+
+    # -- plumbing ---------------------------------------------------------------
+
+    def _require_same_relation(self, other: "CommandHistory") -> None:
+        if self.conflict != other.conflict:
+            raise ValueError(
+                "cannot combine histories under different conflict relations: "
+                f"{self.conflict!r} vs {other.conflict!r}"
+            )
+
+    def __len__(self) -> int:
+        return len(self.cmds)
+
+    def __str__(self) -> str:
+        if not self.cmds:
+            return "⊥"
+        return "⟨" + ", ".join(str(c) for c in self.cmds) + "⟩"
+
+
+def _topological_order(
+    edges: dict[Command, set[Command]]
+) -> list[Command] | None:
+    """Kahn's algorithm with deterministic tie-breaking; None on a cycle."""
+    indegree = {node: 0 for node in edges}
+    for successors in edges.values():
+        for succ in successors:
+            indegree[succ] += 1
+    available = sorted(
+        (node for node, deg in indegree.items() if deg == 0), key=_sort_key
+    )
+    order: list[Command] = []
+    while available:
+        node = available.pop(0)
+        order.append(node)
+        inserted = False
+        for succ in sorted(edges[node], key=_sort_key):
+            indegree[succ] -= 1
+            if indegree[succ] == 0:
+                available.append(succ)
+                inserted = True
+        if inserted:
+            available.sort(key=_sort_key)
+    if len(order) != len(edges):
+        return None
+    return order
+
+
+def history_from_commands(
+    conflict: ConflictRelation, cmds: Iterable[Command]
+) -> CommandHistory:
+    """Convenience constructor: ``⊥ • ⟨cmds⟩``."""
+    return CommandHistory.bottom(conflict).extend(cmds)

@@ -1,0 +1,132 @@
+"""The paper's command-history operators, implemented verbatim (Section 3.3.1).
+
+The paper defines recursive operators over sequence representations of
+command histories:
+
+* ``Prefix(H, I)`` -- the longest common prefix of two histories (their ⊓);
+* ``AreCompatible(H, I, A)`` -- whether two histories have a common upper
+  bound (``A`` accumulates the "ancestors" removed from ``H``);
+* ``H ⊔ I`` -- the least upper bound of two *compatible* histories;
+* set-level ``⊓ S`` and ``⊔ S`` by pairwise iteration.
+
+These functions operate on raw command sequences plus a conflict relation,
+exactly as written in the paper (with its obvious typos fixed: ``A``/``B``
+in the ⊔ definition read ``H``/``I``).  They exist to validate the direct
+implementations in :mod:`repro.cstruct.history`: the property-based tests
+assert that both formulations agree on randomized inputs.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.cstruct.commands import Command, ConflictRelation
+
+Seq = tuple[Command, ...]
+
+
+def _remove(seq: Sequence[Command], cmd: Command) -> Seq:
+    """``seq \\ cmd``: drop the (single) occurrence of *cmd*."""
+    return tuple(c for c in seq if c != cmd)
+
+
+def descendants(
+    cmd: Command, seq: Sequence[Command], conflict: ConflictRelation
+) -> Seq:
+    """``Descendants(cmd, seq)``: commands of *seq* transitively ordered after *cmd*.
+
+    A command of *seq* is a descendant if it conflicts with *cmd* or with an
+    earlier descendant.
+    """
+    anchors: list[Command] = [cmd]
+    result: list[Command] = []
+    for candidate in seq:
+        if any(conflict(candidate, anchor) for anchor in anchors):
+            anchors.append(candidate)
+            result.append(candidate)
+    return tuple(result)
+
+
+def prefix(h: Sequence[Command], i: Sequence[Command], conflict: ConflictRelation) -> Seq:
+    """``Prefix(H, I)``: the longest common prefix (glb) of two histories."""
+    h = tuple(h)
+    i = tuple(i)
+    result: list[Command] = []
+    while h and i:
+        head, tail = h[0], h[1:]
+        head_positions = [j for j, c in enumerate(i) if c == head]
+        in_common_prefix = any(
+            not any(conflict(head, i[k]) for k in range(j)) for j in head_positions
+        )
+        if in_common_prefix:
+            result.append(head)
+            h = tail
+            i = _remove(i, head)
+        else:
+            survivors = set(tail) - set(descendants(head, tail, conflict))
+            h = tuple(c for c in tail if c in survivors)
+    return tuple(result)
+
+
+def are_compatible(
+    h: Sequence[Command],
+    i: Sequence[Command],
+    conflict: ConflictRelation,
+    ancestors: frozenset[Command] = frozenset(),
+) -> bool:
+    """``AreCompatible(H, I, A)``: whether a common upper bound exists."""
+    h = tuple(h)
+    i = tuple(i)
+    while True:
+        if not h or not i:
+            return True
+        head, tail = h[0], h[1:]
+        conflicting_before_head = any(
+            conflict(head, i[j]) and not any(head == i[k] for k in range(j))
+            for j in range(len(i))
+        )
+        if conflicting_before_head:
+            return False
+        if head in i:
+            if any(conflict(head, ancestor) for ancestor in ancestors):
+                return False
+            h = tail
+            i = _remove(i, head)
+        else:
+            h = tail
+            ancestors = ancestors | {head}
+
+
+def lub(h: Sequence[Command], i: Sequence[Command]) -> Seq:
+    """``H ⊔ I`` for compatible histories (callers check compatibility)."""
+    h = tuple(h)
+    i = tuple(i)
+    result: list[Command] = []
+    while h:
+        head, tail = h[0], h[1:]
+        result.append(head)
+        h = tail
+        if head in i:
+            i = _remove(i, head)
+    result.extend(i)
+    return tuple(result)
+
+
+def glb_many(seqs: Sequence[Sequence[Command]], conflict: ConflictRelation) -> Seq:
+    """``⊓ S`` by pairwise iteration, as in the paper."""
+    if not seqs:
+        raise ValueError("glb of an empty set is undefined")
+    result = tuple(seqs[0])
+    for seq in seqs[1:]:
+        result = prefix(result, tuple(seq), conflict)
+    return result
+
+
+def lub_many(seqs: Sequence[Sequence[Command]]) -> Seq:
+    """``⊔ S`` by pairwise iteration for a compatible set, as in the paper."""
+    if not seqs:
+        raise ValueError("lub of an empty set is undefined")
+    result = tuple(seqs[0])
+    for seq in seqs[1:]:
+        result = lub(result, tuple(seq))
+    return result

@@ -1,0 +1,78 @@
+"""Sequence c-structs: total-order broadcast.
+
+C-structs are duplicate-free command sequences; ``v • C`` appends ``C``
+unless already present; the extension order is the prefix order.  This is
+the c-struct set that makes Generalized Consensus equal to total-order
+broadcast (Section 2.3.2), and it coincides with
+:class:`repro.cstruct.history.CommandHistory` under
+:class:`repro.cstruct.commands.AlwaysConflict` -- a correspondence the
+property tests check.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cstruct.base import CStruct, IncompatibleError
+from repro.cstruct.commands import Command
+
+
+@dataclass(frozen=True)
+class CommandSequence(CStruct):
+    """A duplicate-free sequence of commands under the prefix order."""
+
+    cmds: tuple[Command, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if len(set(self.cmds)) != len(self.cmds):
+            raise ValueError(f"duplicate commands in sequence {self.cmds!r}")
+
+    @classmethod
+    def bottom(cls) -> "CommandSequence":
+        return cls(())
+
+    @classmethod
+    def of(cls, *cmds: Command) -> "CommandSequence":
+        return cls(tuple(cmds))
+
+    def append(self, cmd: Command) -> "CommandSequence":
+        if cmd in self.cmds:
+            return self
+        return CommandSequence(self.cmds + (cmd,))
+
+    def leq(self, other: CStruct) -> bool:
+        if not isinstance(other, CommandSequence):
+            return NotImplemented
+        return other.cmds[: len(self.cmds)] == self.cmds
+
+    def glb(self, other: "CommandSequence") -> "CommandSequence":
+        common: list[Command] = []
+        for a, b in zip(self.cmds, other.cmds):
+            if a != b:
+                break
+            common.append(a)
+        return CommandSequence(tuple(common))
+
+    def lub(self, other: "CommandSequence") -> "CommandSequence":
+        if not self.is_compatible(other):
+            raise IncompatibleError(f"sequences diverge: {self} vs {other}")
+        return self if len(self.cmds) >= len(other.cmds) else other
+
+    def is_compatible(self, other: CStruct) -> bool:
+        if not isinstance(other, CommandSequence):
+            return False
+        return self.leq(other) or other.leq(self)
+
+    def contains(self, cmd: Command) -> bool:
+        return cmd in self.cmds
+
+    def command_set(self) -> frozenset[Command]:
+        return frozenset(self.cmds)
+
+    def __len__(self) -> int:
+        return len(self.cmds)
+
+    def __str__(self) -> str:
+        if not self.cmds:
+            return "⊥"
+        return "⟨" + ", ".join(str(c) for c in self.cmds) + "⟩"

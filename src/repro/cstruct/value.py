@@ -1,0 +1,67 @@
+"""The consensus c-struct set.
+
+Lamport shows (and the paper recalls in Section 2.3.2) that classic
+consensus is the instance of Generalized Consensus whose c-structs are ⊥
+plus single commands, with ``v • C = C`` if ``v = ⊥`` and ``v`` otherwise:
+the first command appended "wins" and later appends are absorbed.
+
+With this c-struct set, the generalized algorithms of Section 3.2 collapse
+to the consensus algorithm of Section 3.1, which our tests exploit to
+cross-validate the two implementations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cstruct.base import CStruct, IncompatibleError
+from repro.cstruct.commands import Command
+
+
+@dataclass(frozen=True)
+class ValueStruct(CStruct):
+    """⊥ (``value is None``) or a single decided command."""
+
+    value: Command | None = None
+
+    @classmethod
+    def bottom(cls) -> "ValueStruct":
+        return cls(None)
+
+    def append(self, cmd: Command) -> "ValueStruct":
+        if self.value is None:
+            return ValueStruct(cmd)
+        return self
+
+    def leq(self, other: CStruct) -> bool:
+        if not isinstance(other, ValueStruct):
+            return NotImplemented
+        return self.value is None or self.value == other.value
+
+    def glb(self, other: "ValueStruct") -> "ValueStruct":
+        if self.value is not None and self.value == other.value:
+            return self
+        return ValueStruct(None)
+
+    def lub(self, other: "ValueStruct") -> "ValueStruct":
+        if not self.is_compatible(other):
+            raise IncompatibleError(f"no common upper bound of {self} and {other}")
+        if self.value is not None:
+            return self
+        return other
+
+    def is_compatible(self, other: CStruct) -> bool:
+        if not isinstance(other, ValueStruct):
+            return False
+        return self.value is None or other.value is None or self.value == other.value
+
+    def contains(self, cmd: Command) -> bool:
+        return self.value == cmd
+
+    def command_set(self) -> frozenset[Command]:
+        if self.value is None:
+            return frozenset()
+        return frozenset({self.value})
+
+    def __str__(self) -> str:
+        return "⊥" if self.value is None else f"⟨{self.value}⟩"

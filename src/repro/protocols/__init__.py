@@ -1,0 +1,28 @@
+"""Baseline protocols of the Paxos hierarchy (Section 2).
+
+Coded directly from the paper's Section 2 descriptions, independently of
+the generalized engine in :mod:`repro.core`, so that benchmarks compare
+genuinely distinct implementations and tests can cross-validate:
+
+* :mod:`repro.protocols.classic` -- Classic Paxos (Section 2.1) as a
+  multi-instance state-machine-replication protocol with a leader;
+* :mod:`repro.protocols.fast` -- Fast Paxos (Section 2.2) with fast and
+  classic rounds, collision detection, and both coordinated and
+  uncoordinated recovery;
+* :mod:`repro.protocols.generalized` -- Generalized Paxos (Section 2.3) as
+  the single-coordinated configuration of the generalized engine;
+* :mod:`repro.protocols.leader` -- leader election utilities (re-exported
+  from :mod:`repro.core.liveness`).
+"""
+
+from repro.protocols.classic import ClassicCluster, build_classic_paxos
+from repro.protocols.fast import FastCluster, build_fast_paxos
+from repro.protocols.generalized import build_generalized_paxos
+
+__all__ = [
+    "ClassicCluster",
+    "FastCluster",
+    "build_classic_paxos",
+    "build_fast_paxos",
+    "build_generalized_paxos",
+]

@@ -1,0 +1,21 @@
+"""Leader election utilities (Section 4.3).
+
+The failure detector and leadership logic live in
+:mod:`repro.core.liveness` because the core protocols embed them; this
+module re-exports them under the protocols namespace and adds a small
+stand-alone election helper for tests and examples.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.core.liveness import FailureDetector, Heartbeat, LivenessConfig
+
+__all__ = ["FailureDetector", "Heartbeat", "LivenessConfig", "expected_leader"]
+
+
+def expected_leader(indices: Iterable[int], crashed: Iterable[int]) -> int | None:
+    """The index Ω converges to: the smallest non-crashed coordinator."""
+    alive = sorted(set(indices) - set(crashed))
+    return alive[0] if alive else None

@@ -1,0 +1,77 @@
+"""Event heap for the discrete-event simulator.
+
+Events are ordered by ``(time, sequence_number)``.  The sequence number is a
+monotonically increasing tie-breaker, so two events scheduled for the same
+virtual time fire in scheduling order.  This makes every simulation run a
+deterministic function of its seed.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Callable
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled callback.
+
+    Attributes:
+        time: Virtual time at which the event fires.
+        seq: Tie-breaking sequence number (scheduling order).
+        action: Zero-argument callable run when the event fires.
+        cancelled: Set via :meth:`cancel`; cancelled events are skipped.
+    """
+
+    time: float
+    seq: int
+    action: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+    def cancel(self) -> None:
+        """Mark the event so the queue skips it when popped."""
+        self.cancelled = True
+
+
+class EventQueue:
+    """A min-heap of :class:`Event` objects keyed by virtual time."""
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._seq = 0
+
+    def __len__(self) -> int:
+        return sum(1 for event in self._heap if not event.cancelled)
+
+    def __bool__(self) -> bool:
+        return any(not event.cancelled for event in self._heap)
+
+    def push(self, time: float, action: Callable[[], None]) -> Event:
+        """Schedule *action* at virtual time *time* and return its event."""
+        if time < 0:
+            raise ValueError(f"cannot schedule at negative time {time}")
+        event = Event(time=time, seq=self._seq, action=action)
+        self._seq += 1
+        heapq.heappush(self._heap, event)
+        return event
+
+    def pop(self) -> Event | None:
+        """Remove and return the earliest non-cancelled event, or ``None``."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if not event.cancelled:
+                return event
+        return None
+
+    def peek_time(self) -> float | None:
+        """Return the fire time of the earliest pending event, or ``None``."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        if not self._heap:
+            return None
+        return self._heap[0].time
+
+    def clear(self) -> None:
+        """Drop all pending events."""
+        self._heap.clear()

@@ -1,0 +1,121 @@
+"""Point-to-point network model.
+
+The network delivers each message after ``latency + U(0, jitter)`` time
+units, where the uniform jitter term is drawn from the simulation's seeded
+RNG.  With ``jitter == 0`` all messages sent at the same instant arrive in
+send order at every destination -- the "spontaneous ordering" of clustered
+systems in Section 4.5.  Non-zero jitter produces message inversions, the
+precondition for fast-round collisions.
+
+Messages can also be dropped (``drop_rate``), duplicated
+(``duplicate_rate``), or blocked by explicit partitions.  Local delivery
+(``src == dst``) is instantaneous-but-asynchronous: it costs zero latency
+and is never dropped, modelling a process handing a message to itself.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Hashable
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.scheduler import Simulation
+
+
+@dataclass
+class NetworkConfig:
+    """Tunable network behaviour.
+
+    Attributes:
+        latency: Base one-way delay of every link (one communication step).
+        jitter: Upper bound of the uniform extra delay; 0 means messages
+            between any pair of processes are spontaneously ordered.
+        drop_rate: Probability that a message is silently lost.
+        duplicate_rate: Probability that a message is delivered twice.
+    """
+
+    latency: float = 1.0
+    jitter: float = 0.0
+    drop_rate: float = 0.0
+    duplicate_rate: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.latency <= 0:
+            raise ValueError("latency must be positive")
+        if self.jitter < 0:
+            raise ValueError("jitter must be non-negative")
+        if not 0.0 <= self.drop_rate < 1.0:
+            raise ValueError("drop_rate must be in [0, 1)")
+        if not 0.0 <= self.duplicate_rate <= 1.0:
+            raise ValueError("duplicate_rate must be in [0, 1]")
+
+
+class Network:
+    """Delivers messages between registered processes via the event queue."""
+
+    def __init__(self, sim: "Simulation", config: NetworkConfig | None = None) -> None:
+        self._sim = sim
+        self.config = config or NetworkConfig()
+        self._blocked: set[tuple[Hashable, Hashable]] = set()
+
+    # -- partitions ------------------------------------------------------
+
+    def block(self, a: Hashable, b: Hashable) -> None:
+        """Drop all future messages between *a* and *b* (both directions)."""
+        self._blocked.add((a, b))
+        self._blocked.add((b, a))
+
+    def unblock(self, a: Hashable, b: Hashable) -> None:
+        """Heal the link between *a* and *b*."""
+        self._blocked.discard((a, b))
+        self._blocked.discard((b, a))
+
+    def partition(self, group_a: set, group_b: set) -> None:
+        """Block every link crossing the two groups."""
+        for a in group_a:
+            for b in group_b:
+                self.block(a, b)
+
+    def heal(self) -> None:
+        """Remove all partitions."""
+        self._blocked.clear()
+
+    def is_blocked(self, src: Hashable, dst: Hashable) -> bool:
+        return (src, dst) in self._blocked
+
+    # -- sending ---------------------------------------------------------
+
+    def send(self, src: Hashable, dst: Hashable, msg: Any) -> None:
+        """Send *msg* from *src* to *dst*, applying the network model."""
+        metrics = self._sim.metrics
+        metrics.on_send(src, dst, msg)
+        if src == dst:
+            # Self-delivery: immediate, reliable, still asynchronous.
+            self._schedule_delivery(src, dst, msg, delay=0.0)
+            return
+        if self.is_blocked(src, dst):
+            metrics.on_drop()
+            return
+        rng = self._sim.rng
+        if self.config.drop_rate and rng.random() < self.config.drop_rate:
+            metrics.on_drop()
+            return
+        copies = 1
+        if self.config.duplicate_rate and rng.random() < self.config.duplicate_rate:
+            copies = 2
+        for _ in range(copies):
+            delay = self.config.latency
+            if self.config.jitter:
+                delay += rng.uniform(0.0, self.config.jitter)
+            self._schedule_delivery(src, dst, msg, delay)
+
+    def _schedule_delivery(self, src: Hashable, dst: Hashable, msg: Any, delay: float) -> None:
+        def deliver() -> None:
+            process = self._sim.processes.get(dst)
+            if process is None or not process.alive:
+                self._sim.metrics.on_drop()
+                return
+            self._sim.metrics.on_deliver(dst, msg)
+            process.deliver(msg, src)
+
+        self._sim.schedule(delay, deliver)

@@ -1,0 +1,68 @@
+"""Stable storage with write accounting.
+
+Section 4.4 of the paper argues about the cost of the protocols in *disk
+writes*: acceptors must persist every accepted value, while coordinators
+never need stable storage.  :class:`StableStorage` models a per-process
+durable key/value store whose contents survive crashes, and counts every
+write so benchmarks (experiment E6) can report exact disk-write totals.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Any, Iterator
+
+
+class StableStorage:
+    """Durable per-process key/value store with a write counter.
+
+    The store survives :meth:`repro.sim.process.Process.crash`; volatile
+    process state does not.  Values are expected to be immutable (the
+    protocol implementations only store tuples, frozen dataclasses and
+    c-structs), so no defensive copying is performed.
+    """
+
+    def __init__(self, owner: str = "") -> None:
+        self.owner = owner
+        self._data: dict[str, Any] = {}
+        self.write_count = 0
+        self.read_count = 0
+        self.write_counts: Counter = Counter()  # per-key write accounting
+
+    def write(self, key: str, value: Any) -> None:
+        """Persist *value* under *key*, counting one disk write."""
+        self._data[key] = value
+        self.write_count += 1
+        self.write_counts[key] += 1
+
+    def write_many(self, items: dict[str, Any]) -> None:
+        """Persist several keys with a *single* disk write.
+
+        Models the common implementation trick of batching the fields of a
+        protocol state record (vrnd, vval) into one synchronous write.
+        """
+        self._data.update(items)
+        self.write_count += 1
+        for key in items:
+            self.write_counts[key] += 1
+
+    def read(self, key: str, default: Any = None) -> Any:
+        """Return the value stored under *key*, or *default*."""
+        self.read_count += 1
+        return self._data.get(key, default)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._data
+
+    def keys(self) -> Iterator[str]:
+        return iter(self._data)
+
+    def clear(self) -> None:
+        """Erase the store (used only by tests; real crashes keep data)."""
+        self._data.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"StableStorage(owner={self.owner!r}, keys={sorted(self._data)}, "
+            f"writes={self.write_count})"
+        )

@@ -1,0 +1,26 @@
+"""State-machine replication on top of the agreement protocols.
+
+The paper's application framing: replicas apply deterministic commands from
+an agreed (partially or totally ordered) command structure.
+
+* :mod:`repro.smr.machine` -- the state-machine interface and a key-value
+  store whose operations define a natural conflict relation;
+* :mod:`repro.smr.replica` -- replicas driven by generic-broadcast
+  learners (one generalized instance) or by Classic Paxos learners (one
+  consensus instance per command);
+* :mod:`repro.smr.client` -- clients issuing commands and tracking
+  completion.
+"""
+
+from repro.smr.client import Client
+from repro.smr.machine import KVStore, StateMachine, kv_conflict
+from repro.smr.replica import BroadcastReplica, OrderedReplica
+
+__all__ = [
+    "BroadcastReplica",
+    "Client",
+    "KVStore",
+    "OrderedReplica",
+    "StateMachine",
+    "kv_conflict",
+]

@@ -1,0 +1,54 @@
+"""Clients: issue commands and track completion.
+
+A :class:`Client` proposes commands through a cluster (generalized or
+classic) and observes completion via replica execution callbacks, giving
+end-to-end request latency on top of the protocol-level propose-to-learn
+metric.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cstruct.commands import Command
+
+
+@dataclass
+class Client:
+    """A closed-loop or open-loop command issuer."""
+
+    name: str
+    cluster: object  # any cluster exposing .propose(cmd, delay=...)
+    issued: list[Command] = field(default_factory=list)
+    completed: dict[Command, float] = field(default_factory=dict)
+    issue_times: dict[Command, float] = field(default_factory=dict)
+
+    def issue(self, cmd: Command, delay: float = 0.0) -> Command:
+        """Propose *cmd* after *delay* simulated time units."""
+        sim = self.cluster.sim
+        self.issued.append(cmd)
+
+        def fire() -> None:
+            self.issue_times[cmd] = sim.clock
+            # Route through the cluster's proposer rotation.
+            self.cluster.propose(cmd)
+
+        sim.schedule(delay, fire)
+        return cmd
+
+    def watch_replica(self, replica) -> None:
+        """Record completion when *replica* executes one of our commands."""
+
+        def observer(cmd, result) -> None:
+            if cmd in self.issue_times and cmd not in self.completed:
+                self.completed[cmd] = self.cluster.sim.clock
+
+        replica.on_execute(observer)
+
+    def latency(self, cmd: Command) -> float | None:
+        if cmd not in self.completed or cmd not in self.issue_times:
+            return None
+        return self.completed[cmd] - self.issue_times[cmd]
+
+    def all_completed(self) -> bool:
+        return all(cmd in self.completed for cmd in self.issued)

@@ -1,0 +1,649 @@
+"""Multicoordinated MultiPaxos: one consensus instance per command.
+
+The paper's application-oriented framing (abstract; Sections 1 and 4.1):
+state-machine replication runs a sequence of consensus instances, and
+multicoordinated rounds remove the leader from the per-command critical
+path.  This module implements that substrate directly:
+
+* one :class:`repro.core.rounds.RoundId` round spans *all* instances; its
+  phase 1 is executed once (a ⟨1a⟩ covers every instance and acceptors
+  answer with all their per-instance votes, the Section 2.1.2 trick);
+* every command is assigned to an instance and forwarded through a
+  coordinator quorum; acceptors accept a value for an instance only on
+  identical phase "2a" values from a full coordinator quorum;
+* proposers may pick a per-command coordinator quorum and acceptor quorum
+  (the Section 4.1 load-balancing scheme) -- with instance-granular
+  consensus the per-command quorum choice genuinely bounds each acceptor's
+  load, unlike the cumulative c-structs of the single-instance engine;
+* concurrent commands can race for an instance ("collision", Section 4.2):
+  coordinators exchange their phase "2a" messages and converge on one
+  assignment per instance (the lowest-indexed coordinator's choice wins,
+  a deterministic variant of the paper's collision handling); displaced
+  commands are requeued to the next free instance, and any residual stuck
+  instance is resolved by the leader starting a higher single-coordinated
+  round;
+* learners deliver decided values in instance order, so replicas apply a
+  total order.
+
+Leader changes (round changes) re-run phase 1 for all instances; the new
+round's coordinators re-propose every value that may have been chosen and
+close gaps with no-ops, exactly as the Classic Paxos baseline does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Hashable
+
+from repro.core.liveness import FailureDetector, Heartbeat, LivenessConfig
+from repro.core.quorums import QuorumSystem
+from repro.core.rounds import ZERO, RoundId, RoundSchedule
+from repro.core.topology import Topology
+from repro.sim.process import Process
+from repro.sim.scheduler import Simulation
+
+NOOP = "__noop__"
+
+
+# -- messages -----------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class IPropose:
+    cmd: Hashable
+    coord_quorum: frozenset[int] | None = None
+    acceptor_quorum: frozenset[str] | None = None
+
+
+@dataclass(frozen=True)
+class I1a:
+    rnd: RoundId
+
+
+@dataclass(frozen=True)
+class I1b:
+    rnd: RoundId
+    acceptor: str
+    votes: tuple[tuple[int, RoundId, Hashable], ...]  # (instance, vrnd, vval)
+
+
+@dataclass(frozen=True)
+class I2a:
+    rnd: RoundId
+    instance: int
+    val: Hashable
+    coord: int
+
+
+@dataclass(frozen=True)
+class I2b:
+    rnd: RoundId
+    instance: int
+    val: Hashable
+    acceptor: str
+
+
+@dataclass(frozen=True)
+class INack:
+    rnd: RoundId
+    higher: RoundId
+
+
+@dataclass
+class InstancesConfig:
+    topology: Topology
+    quorums: QuorumSystem
+    schedule: RoundSchedule
+    liveness: LivenessConfig | None = None
+
+
+class SMRProposer(Process):
+    """Proposes commands, optionally balancing load across quorums."""
+
+    def __init__(self, pid: str, sim: Simulation, config: InstancesConfig) -> None:
+        super().__init__(pid, sim)
+        self.config = config
+        self.balance_load = False
+
+    def propose(self, cmd: Hashable) -> None:
+        self.metrics.record_propose(cmd, self.now)
+        coord_quorum = None
+        acceptor_quorum = None
+        if self.balance_load:
+            rng = self.sim.rng
+            coords = list(self.config.schedule.coordinators)
+            coord_quorum = frozenset(rng.sample(coords, len(coords) // 2 + 1))
+            accs = list(self.config.topology.acceptors)
+            acceptor_quorum = frozenset(
+                rng.sample(accs, self.config.quorums.classic_quorum_size)
+            )
+        msg = IPropose(cmd, coord_quorum, acceptor_quorum)
+        # Every coordinator hears the proposal (the leader needs it for
+        # stuck detection); only the chosen quorum forwards it, so the
+        # per-command forwarding load stays balanced (Section 4.1).
+        self.broadcast(self.config.topology.coordinators, msg)
+
+
+class SMRCoordinator(Process):
+    """A coordinator of the multicoordinated replication group."""
+
+    def __init__(
+        self, pid: str, sim: Simulation, config: InstancesConfig, index: int
+    ) -> None:
+        super().__init__(pid, sim)
+        self.config = config
+        self.index = index
+        self.crnd: RoundId = ZERO
+        self.phase1_done = False
+        self.next_instance = 0
+        self.pending: list[IPropose] = []
+        self.assigned: dict[int, IPropose] = {}  # instance -> proposal in flight
+        self.decided: dict[int, Hashable] = {}
+        self.highest_seen: RoundId = ZERO
+        self.reassignments = 0
+        self._sent: dict[int, Hashable] = {}  # instance -> value last sent in 2a
+        self._owners: dict[int, int] = {}  # instance -> lowest coord index seen
+        self._observed: dict[Hashable, float] = {}  # every proposed command
+        self._served: set[Hashable] = set()  # commands seen decided
+        self._hole_seen: dict[int, float] = {}  # undecided gaps, first seen
+        self._p1b: dict[RoundId, dict[str, I1b]] = {}
+        self._p2b: dict[tuple[int, RoundId], dict[str, Hashable]] = {}
+        self._fd: FailureDetector | None = None
+        self._last_round_change = 0.0
+        if config.liveness is not None:
+            peers = list(enumerate(config.topology.coordinators))
+            self._fd = FailureDetector(
+                self, index, peers, config.liveness, on_check=self._progress_check
+            )
+            self._fd.start()
+
+    # -- round management --------------------------------------------------
+
+    def start_round(self, rnd: RoundId) -> None:
+        if not self.config.schedule.is_coordinator_of(self.index, rnd):
+            raise ValueError(f"coordinator {self.index} does not coordinate {rnd}")
+        if rnd <= self.crnd:
+            raise ValueError(f"round {rnd} is not above {self.crnd}")
+        self._adopt(rnd)
+        self._last_round_change = self.now
+        self.broadcast(self.config.topology.acceptors, I1a(rnd))
+
+    def _adopt(self, rnd: RoundId) -> None:
+        self.crnd = rnd
+        self.phase1_done = False
+        # In-flight commands of the previous round are re-driven here.
+        for proposal in self.assigned.values():
+            if proposal.cmd not in self.decided.values():
+                self.pending.append(proposal)
+        self.assigned = {}
+        self._sent = {}
+        self._owners = {}
+        self.highest_seen = max(self.highest_seen, rnd)
+
+    def is_leader(self) -> bool:
+        return self._fd.is_leader() if self._fd is not None else self.index == 0
+
+    # -- phase 1 ----------------------------------------------------------------
+
+    def on_i1b(self, msg: I1b, src: Hashable) -> None:
+        rnd = msg.rnd
+        self.highest_seen = max(self.highest_seen, rnd)
+        if not self.config.schedule.is_coordinator_of(self.index, rnd):
+            return
+        if rnd > self.crnd:
+            self._adopt(rnd)
+        if rnd != self.crnd or self.phase1_done:
+            return
+        self._p1b.setdefault(rnd, {})[msg.acceptor] = msg
+        replies = self._p1b[rnd]
+        if len(replies) < self.config.quorums.classic_quorum_size:
+            return
+        self._finish_phase1(replies)
+
+    def _finish_phase1(self, replies: dict[str, I1b]) -> None:
+        """Re-send possibly chosen values; close gaps; resume service.
+
+        Per instance this applies the Fast Paxos picking rule (Section
+        2.2): a value must be re-proposed iff, at the highest round ``k``
+        reported for the instance, it was reported by at least
+        ``|Q| + q_k - n`` acceptors (it may have been chosen).  A
+        multicoordinated round can leave *different* values accepted by
+        different (non-quorum) acceptor subsets after an instance race, so
+        the naive "value of the highest vrnd" rule would be unsafe here.
+        """
+        self.phase1_done = True
+        votes_by_instance: dict[int, list[tuple[RoundId, Hashable]]] = {}
+        for reply in replies.values():
+            for instance, vrnd, vval in reply.votes:
+                votes_by_instance.setdefault(instance, []).append((vrnd, vval))
+        min_inter = (
+            len(replies) + self.config.quorums.classic_quorum_size
+            - self.config.quorums.n
+        )
+        # Cover every instance this coordinator knows about -- reported
+        # votes, decided instances and gossip-known claims alike -- so that
+        # undecided holes are closed with no-ops (nothing can be chosen at
+        # a lower round for an instance no phase-1 replier voted in, since
+        # the repliers' quorum intersects every quorum of lower rounds).
+        top = max(
+            [self.next_instance - 1, *votes_by_instance, *self.decided],
+            default=-1,
+        )
+        for instance in range(top + 1):
+            if instance in self.decided:
+                continue
+            value = self._pick_for_instance(
+                votes_by_instance.get(instance, []), min_inter
+            )
+            self._send_2a(instance, value, None)
+        self.next_instance = max(self.next_instance, top + 1)
+        self._drain()
+
+    @staticmethod
+    def _pick_for_instance(
+        votes: list[tuple[RoundId, Hashable]], min_inter: int
+    ) -> Hashable:
+        if not votes:
+            return NOOP
+        k = max(vrnd for vrnd, _ in votes)
+        counts: dict[Hashable, int] = {}
+        for vrnd, vval in votes:
+            if vrnd == k:
+                counts[vval] = counts.get(vval, 0) + 1
+        candidates = [value for value, count in counts.items() if count >= min_inter]
+        if candidates:
+            return candidates[0]  # at most one by the quorum requirement
+        # Nothing provably chosen: free to pick; prefer a reported value so
+        # the raced command still gets decided.
+        return max(counts.items(), key=lambda kv: (kv[1], repr(kv[0])))[0]
+
+    # -- proposals ------------------------------------------------------------------
+
+    def on_ipropose(self, msg: IPropose, src: Hashable) -> None:
+        # Track every command for the leader's stuck detection, even when
+        # this coordinator is not in the command's quorum.
+        if msg.cmd not in self._observed and msg.cmd not in self._served:
+            self._observed[msg.cmd] = self.now
+        if msg.coord_quorum is not None and self.index not in msg.coord_quorum:
+            return
+        known = (
+            [p.cmd for p in self.pending]
+            + [p.cmd for p in self.assigned.values()]
+            + list(self.decided.values())
+        )
+        if msg.cmd in known:
+            return
+        self.pending.append(msg)
+        self._drain()
+
+    def _drain(self) -> None:
+        if not self.phase1_done:
+            return
+        if not self.config.schedule.is_coordinator_of(self.index, self.crnd):
+            return
+        while self.pending:
+            proposal = self.pending.pop(0)
+            already_driving = (
+                proposal.cmd in self.decided.values()
+                or proposal.cmd in self._sent.values()
+                or any(p.cmd == proposal.cmd for p in self.assigned.values())
+            )
+            if already_driving:
+                continue
+            instance = self.next_instance
+            self.next_instance += 1
+            self._send_2a(instance, proposal.cmd, proposal)
+
+    def _send_2a(self, instance: int, value: Hashable, proposal: IPropose | None) -> None:
+        if proposal is not None:
+            self.assigned[instance] = proposal
+        self._sent[instance] = value
+        self._owners.setdefault(instance, self.index)
+        self.metrics.count_command_handled(self.pid)
+        targets = self.config.topology.acceptors
+        if proposal is not None and proposal.acceptor_quorum is not None:
+            targets = tuple(sorted(proposal.acceptor_quorum))
+        self.broadcast(targets, I2a(self.crnd, instance, value, self.index))
+        # Share the assignment with the round's other coordinators so
+        # concurrent assignments converge (see on_i2a).
+        peers = [
+            pid
+            for pid in self.config.topology.coordinator_pids(
+                self.config.schedule.coordinators_of(self.crnd)
+            )
+            if pid != self.pid
+        ]
+        self.broadcast(peers, I2a(self.crnd, instance, value, self.index))
+
+    # -- assignment convergence ------------------------------------------------------
+
+    def on_i2a(self, msg: I2a, src: Hashable) -> None:
+        """Endorse a peer coordinator's assignment for a fresh instance.
+
+        Safety constraint (Section 3.1): a coordinator sends at most *one*
+        value per instance per round, or two different values could each
+        gather a full coordinator quorum and be accepted by different
+        acceptor quorums.  So a peer's assignment is endorsed only for
+        instances this coordinator has not claimed yet; conflicting claims
+        are a genuine collision -- the instance stays undecided and the
+        leader's recovery round (phase 1 + the picking rule) resolves it.
+        """
+        self.highest_seen = max(self.highest_seen, msg.rnd)
+        if msg.rnd != self.crnd or not self.phase1_done:
+            return
+        if not self.config.schedule.is_coordinator_of(self.index, self.crnd):
+            return
+        instance = msg.instance
+        self.next_instance = max(self.next_instance, instance + 1)
+        if instance in self._sent:
+            return  # our value for this instance is final within the round
+        # Endorse: forward the same value so the coordinator quorum agrees.
+        self._owners[instance] = min(self._owners.get(instance, msg.coord), msg.coord)
+        self._sent[instance] = msg.val
+        self.broadcast(
+            self.config.topology.acceptors,
+            I2a(self.crnd, instance, msg.val, self.index),
+        )
+        # Drop the command from our queue if a peer is already driving it.
+        self.pending = [p for p in self.pending if p.cmd != msg.val]
+
+    # -- decision monitoring and instance-race reassignment (Section 4.2) --------------
+
+    def on_i2b(self, msg: I2b, src: Hashable) -> None:
+        self.highest_seen = max(self.highest_seen, msg.rnd)
+        key = (msg.instance, msg.rnd)
+        votes = self._p2b.setdefault(key, {})
+        votes[msg.acceptor] = msg.val
+        count = sum(1 for v in votes.values() if v == msg.val)
+        if count < self.config.quorums.classic_quorum_size:
+            return
+        if msg.instance not in self.decided:
+            self.decided[msg.instance] = msg.val
+        self._served.add(msg.val)
+        self._observed.pop(msg.val, None)
+        self.next_instance = max(self.next_instance, msg.instance + 1)
+        proposal = self.assigned.pop(msg.instance, None)
+        if proposal is not None and proposal.cmd != msg.val:
+            # We lost the race for this instance; requeue our command.
+            self.reassignments += 1
+            if proposal.cmd not in self.decided.values():
+                self.pending.append(proposal)
+                self._drain()
+
+    def on_inack(self, msg: INack, src: Hashable) -> None:
+        self.highest_seen = max(self.highest_seen, msg.higher)
+
+    def on_heartbeat(self, msg: Heartbeat, src: Hashable) -> None:
+        if self._fd is not None:
+            self._fd.on_heartbeat(msg)
+
+    # -- liveness -----------------------------------------------------------------------
+
+    def _progress_check(self) -> None:
+        liveness = self.config.liveness
+        if liveness is None or not self.is_leader():
+            return
+        if self.now - self._last_round_change < liveness.stuck_timeout:
+            return
+        active = self.config.schedule.is_coordinator_of(self.index, self.crnd)
+        aged = [
+            cmd
+            for cmd, since in self._observed.items()
+            if self.now - since > liveness.stuck_timeout
+        ]
+        top_decided = max(self.decided, default=-1)
+        holes = {j for j in range(top_decided) if j not in self.decided}
+        self._hole_seen = {
+            j: self._hole_seen.get(j, self.now) for j in holes
+        }
+        aged_holes = [
+            j
+            for j, since in self._hole_seen.items()
+            if self.now - since > liveness.stuck_timeout
+        ]
+        # In-flight commands and momentary gaps are normal; only *aged*
+        # unserved commands or aged delivery holes indicate a stuck round.
+        stuck = bool(aged) or bool(aged_holes)
+        if active and not self.phase1_done and self.crnd > ZERO:
+            stuck = True  # phase 1 never completed; retry with a new round
+        if not stuck and active and self.phase1_done:
+            return
+        if not stuck and not active:
+            return
+        base = max(self.highest_seen, self.crnd)
+        rnd = RoundId(
+            mcount=base.mcount,
+            count=base.count + 1,
+            coord=self.index,
+            rtype=liveness.recovery_rtype,
+        )
+        # _adopt (inside start_round) requeues our in-flight commands; the
+        # leader additionally takes over every observed-but-unserved
+        # command, covering commands stuck at other coordinators.
+        self.start_round(rnd)
+        for cmd in aged:
+            self.pending.append(IPropose(cmd))
+
+    # -- crash-recovery -----------------------------------------------------------------
+
+    def on_crash(self) -> None:
+        self.crnd = ZERO
+        self.phase1_done = False
+        self.pending = []
+        self.assigned = {}
+        self.decided = {}
+        self._sent = {}
+        self._owners = {}
+        self._observed = {}
+        self._served = set()
+        self._hole_seen = {}
+        self._p1b = {}
+        self._p2b = {}
+
+    def on_recover(self) -> None:
+        if self._fd is not None:
+            self._fd.start()
+
+
+class SMRAcceptor(Process):
+    """Per-instance votes under one (global) round number."""
+
+    def __init__(self, pid: str, sim: Simulation, config: InstancesConfig) -> None:
+        super().__init__(pid, sim)
+        self.config = config
+        self.rnd: RoundId = ZERO
+        self.votes: dict[int, tuple[RoundId, Hashable]] = {}
+        self.commands_accepted = 0
+        self.collisions_detected = 0
+        self._p2a: dict[tuple[int, RoundId], dict[int, Hashable]] = {}
+        self._collided: set[tuple[int, RoundId]] = set()
+
+    def on_i1a(self, msg: I1a, src: Hashable) -> None:
+        if msg.rnd <= self.rnd:
+            if msg.rnd < self.rnd:
+                self.send(src, INack(msg.rnd, self.rnd))
+            return
+        self.rnd = msg.rnd
+        self.storage.write("rnd", msg.rnd)
+        votes = tuple(
+            (instance, vrnd, vval)
+            for instance, (vrnd, vval) in sorted(self.votes.items())
+        )
+        coords = self.config.topology.coordinator_pids(
+            self.config.schedule.coordinators_of(msg.rnd)
+        )
+        self.broadcast(coords, I1b(msg.rnd, self.pid, votes))
+
+    def on_i2a(self, msg: I2a, src: Hashable) -> None:
+        if msg.rnd < self.rnd:
+            self.send(src, INack(msg.rnd, self.rnd))
+            return
+        key = (msg.instance, msg.rnd)
+        buffer = self._p2a.setdefault(key, {})
+        buffer[msg.coord] = msg.val
+        values = {v for v in buffer.values()}
+        if len(values) > 1 and key not in self._collided:
+            # Instance race: different coordinators forwarded different
+            # commands.  Nothing is accepted for the losing assignments;
+            # the coordinators reassign via the 2b stream (Section 4.2).
+            self._collided.add(key)
+            self.collisions_detected += 1
+        senders = frozenset(buffer)
+        for quorum in self.config.schedule.coord_quorums(msg.rnd):
+            if not quorum <= senders:
+                continue
+            quorum_values = {buffer[c] for c in quorum}
+            if len(quorum_values) != 1:
+                continue
+            self._accept(msg.rnd, msg.instance, next(iter(quorum_values)))
+            return
+
+    def _accept(self, rnd: RoundId, instance: int, value: Hashable) -> None:
+        if rnd < self.rnd:
+            return
+        current = self.votes.get(instance)
+        if current is not None and current[0] >= rnd:
+            return
+        self.rnd = max(self.rnd, rnd)
+        self.votes[instance] = (rnd, value)
+        self.commands_accepted += 1
+        self.storage.write_many({f"vote:{instance}": (rnd, value)})
+        vote = I2b(rnd, instance, value, self.pid)
+        self.broadcast(self.config.topology.learners, vote)
+        coords = self.config.topology.coordinator_pids(
+            self.config.schedule.coordinators_of(rnd)
+        )
+        self.broadcast(coords, vote)
+
+    def on_crash(self) -> None:
+        self.rnd = ZERO
+        self.votes = {}
+        self._p2a = {}
+        self._collided = set()
+
+    def on_recover(self) -> None:
+        self.rnd = self.storage.read("rnd", ZERO)
+        for key in list(self.storage.keys()):
+            if key.startswith("vote:"):
+                instance = int(key.split(":", 1)[1])
+                self.votes[instance] = self.storage.read(key)
+
+
+class SMRLearner(Process):
+    """Learns per-instance decisions; delivers them in instance order."""
+
+    def __init__(self, pid: str, sim: Simulation, config: InstancesConfig) -> None:
+        super().__init__(pid, sim)
+        self.config = config
+        self.decided: dict[int, Hashable] = {}
+        self.delivered: list[Hashable] = []
+        self._next_delivery = 0
+        self._votes: dict[tuple[int, RoundId], dict[str, Hashable]] = {}
+        self._callbacks: list[Callable[[int, Hashable], None]] = []
+
+    def on_deliver(self, callback: Callable[[int, Hashable], None]) -> None:
+        self._callbacks.append(callback)
+
+    def on_i2b(self, msg: I2b, src: Hashable) -> None:
+        votes = self._votes.setdefault((msg.instance, msg.rnd), {})
+        votes[msg.acceptor] = msg.val
+        count = sum(1 for v in votes.values() if v == msg.val)
+        if count < self.config.quorums.classic_quorum_size:
+            return
+        existing = self.decided.get(msg.instance)
+        if existing is not None:
+            if existing != msg.val:
+                raise AssertionError(
+                    f"consistency violation in instance {msg.instance}: "
+                    f"{existing!r} vs {msg.val!r}"
+                )
+            return
+        self.decided[msg.instance] = msg.val
+        if msg.val != NOOP:
+            self.metrics.record_learn(msg.val, self.pid, self.now)
+        self._deliver_ready()
+
+    def _deliver_ready(self) -> None:
+        while self._next_delivery in self.decided:
+            instance = self._next_delivery
+            value = self.decided[instance]
+            self._next_delivery += 1
+            if value == NOOP:
+                continue
+            if value in self.delivered:
+                # At-most-once delivery: assignment races may decide the
+                # same command in two instances; later copies are no-ops.
+                continue
+            self.delivered.append(value)
+            for callback in self._callbacks:
+                callback(instance, value)
+
+
+@dataclass
+class SMRCluster:
+    """A deployed multicoordinated replication group."""
+
+    sim: Simulation
+    config: InstancesConfig
+    proposers: list[SMRProposer]
+    coordinators: list[SMRCoordinator]
+    acceptors: list[SMRAcceptor]
+    learners: list[SMRLearner]
+    _proposal_index: int = field(default=0)
+
+    def propose(self, cmd: Hashable, delay: float = 0.0, proposer: int | None = None) -> None:
+        if proposer is None:
+            proposer = self._proposal_index % len(self.proposers)
+            self._proposal_index += 1
+        agent = self.proposers[proposer]
+        self.sim.schedule(delay, lambda: agent.propose(cmd))
+
+    def start_round(self, rnd: RoundId, coordinator: int | None = None, delay: float = 0.0) -> None:
+        index = rnd.coord if coordinator is None else coordinator
+        agent = self.coordinators[index]
+        self.sim.schedule(delay, lambda: agent.start_round(rnd))
+
+    def set_load_balancing(self, enabled: bool) -> None:
+        for proposer in self.proposers:
+            proposer.balance_load = enabled
+
+    def everyone_delivered(self, cmds) -> bool:
+        cmds = list(cmds)
+        return all(
+            all(cmd in learner.delivered for cmd in cmds) for learner in self.learners
+        )
+
+    def run_until_delivered(self, cmds, timeout: float = 5_000.0) -> bool:
+        cmds = list(cmds)
+        return self.sim.run_until(lambda: self.everyone_delivered(cmds), timeout=timeout)
+
+
+def build_smr(
+    sim: Simulation,
+    n_proposers: int = 2,
+    n_coordinators: int = 3,
+    n_acceptors: int = 3,
+    n_learners: int = 1,
+    schedule: RoundSchedule | None = None,
+    liveness: LivenessConfig | None = None,
+    f: int | None = None,
+) -> SMRCluster:
+    """Deploy a multicoordinated MultiPaxos replication group on *sim*."""
+    topology = Topology.build(n_proposers, n_coordinators, n_acceptors, n_learners)
+    quorums = QuorumSystem(topology.acceptors, f=f)
+    if schedule is None:
+        schedule = RoundSchedule(range(n_coordinators), recovery_rtype=1)
+    config = InstancesConfig(
+        topology=topology, quorums=quorums, schedule=schedule, liveness=liveness
+    )
+    return SMRCluster(
+        sim=sim,
+        config=config,
+        proposers=[SMRProposer(pid, sim, config) for pid in topology.proposers],
+        coordinators=[
+            SMRCoordinator(pid, sim, config, index)
+            for index, pid in enumerate(topology.coordinators)
+        ],
+        acceptors=[SMRAcceptor(pid, sim, config) for pid in topology.acceptors],
+        learners=[SMRLearner(pid, sim, config) for pid in topology.learners],
+    )

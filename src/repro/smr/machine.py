@@ -1,0 +1,66 @@
+"""Deterministic state machines and the key-value store application.
+
+Commands are :class:`repro.cstruct.commands.Command` records; the key-value
+store interprets ``op``/``key``/``arg``.  Its conflict relation -- reads on
+the same key commute, everything else on the same key conflicts, different
+keys always commute -- is the canonical generic-broadcast workload the
+paper motivates ("operations changing the same piece of data, as a file in
+a file system or a row in a database").
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.cstruct.commands import Command, KeyConflict
+
+
+class StateMachine:
+    """A deterministic state machine: identical command sequences must
+    produce identical states on every replica."""
+
+    def apply(self, cmd: Command) -> Any:
+        """Execute *cmd* and return its result."""
+        raise NotImplementedError
+
+    def snapshot(self) -> Any:
+        """A hashable/value-comparable representation of the state."""
+        raise NotImplementedError
+
+
+class KVStore(StateMachine):
+    """A string-keyed store with ``put``, ``get``, ``inc`` and ``cas`` ops."""
+
+    def __init__(self) -> None:
+        self._data: dict[str, Any] = {}
+        self.applied: list[Command] = []
+
+    def apply(self, cmd: Command) -> Any:
+        self.applied.append(cmd)
+        if cmd.op == "put":
+            self._data[cmd.key] = cmd.arg
+            return cmd.arg
+        if cmd.op == "get":
+            return self._data.get(cmd.key)
+        if cmd.op == "inc":
+            amount = cmd.arg if cmd.arg is not None else 1
+            self._data[cmd.key] = self._data.get(cmd.key, 0) + amount
+            return self._data[cmd.key]
+        if cmd.op == "cas":
+            expected, new = cmd.arg
+            if self._data.get(cmd.key) == expected:
+                self._data[cmd.key] = new
+                return True
+            return False
+        raise ValueError(f"unknown operation {cmd.op!r}")
+
+    def get(self, key: str, default: Any = None) -> Any:
+        return self._data.get(key, default)
+
+    def snapshot(self) -> tuple:
+        return tuple(sorted(self._data.items()))
+
+
+def kv_conflict() -> KeyConflict:
+    """The key-value store's conflict relation (reads commute per key)."""
+    return KeyConflict(read_ops=frozenset({"get"}))

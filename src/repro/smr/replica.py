@@ -1,0 +1,65 @@
+"""Replicas: state machines driven by learners.
+
+Two replication styles, mirroring the paper's two framings:
+
+* :class:`BroadcastReplica` -- attaches to a generalized learner; the
+  single Generalized Consensus instance yields a growing command history
+  and the replica applies the delta of every learn event.  Conflicting
+  commands are applied in the same order at every replica; commuting
+  commands may interleave differently, and by determinism of the state
+  machine over conflicts the final states coincide.
+* :class:`OrderedReplica` -- attaches to a Classic Paxos learner; one
+  consensus instance per command, applied in instance order.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.cstruct.commands import Command
+from repro.smr.machine import StateMachine
+
+
+class BroadcastReplica:
+    """A replica fed by a generic-broadcast (generalized) learner."""
+
+    def __init__(self, learner, machine: StateMachine) -> None:
+        self.learner = learner
+        self.machine = machine
+        self.executed: list[Command] = []
+        self.results: dict[Command, object] = {}
+        self._observers: list[Callable[[Command, object], None]] = []
+        learner.on_learn(self._on_learn)
+
+    def on_execute(self, observer: Callable[[Command, object], None]) -> None:
+        self._observers.append(observer)
+
+    def _on_learn(self, new_cmds, learned) -> None:
+        for cmd in new_cmds:
+            result = self.machine.apply(cmd)
+            self.executed.append(cmd)
+            self.results[cmd] = result
+            for observer in self._observers:
+                observer(cmd, result)
+
+
+class OrderedReplica:
+    """A replica fed by a Classic Paxos learner (instance order)."""
+
+    def __init__(self, learner, machine: StateMachine) -> None:
+        self.learner = learner
+        self.machine = machine
+        self.executed: list[Command] = []
+        self.results: dict[Command, object] = {}
+        self._observers: list[Callable[[Command, object], None]] = []
+        learner.on_deliver(self._on_deliver)
+
+    def on_execute(self, observer: Callable[[Command, object], None]) -> None:
+        self._observers.append(observer)
+
+    def _on_deliver(self, instance: int, cmd) -> None:
+        result = self.machine.apply(cmd)
+        self.executed.append(cmd)
+        self.results[cmd] = result
+        for observer in self._observers:
+            observer(cmd, result)

@@ -1,0 +1,27 @@
+"""Shared test fixtures and helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cstruct.commands import AlwaysConflict, Command, KeyConflict, NeverConflict
+
+
+def cmd(cid: str, op: str = "put", key: str = "x", arg=None) -> Command:
+    """Shorthand command constructor used across the suite."""
+    return Command(cid=cid, op=op, key=key, arg=arg)
+
+
+@pytest.fixture
+def always():
+    return AlwaysConflict()
+
+
+@pytest.fixture
+def never():
+    return NeverConflict()
+
+
+@pytest.fixture
+def by_key():
+    return KeyConflict(read_ops=frozenset({"get"}))

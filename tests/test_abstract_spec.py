@@ -1,0 +1,271 @@
+"""Executable Abstract Multicoordinated Paxos (Appendix A.2) as an oracle.
+
+Unit tests pin down the ballot-array predicates (chosen/choosable/safe-at)
+and the enabling conditions of each action; the randomized driver then
+performs long schedules of enabled actions and asserts the paper's
+invariants after every step -- a lightweight model-checking pass.
+"""
+
+import random
+
+import pytest
+
+from repro.core.abstract import AbstractMCPaxos, AbstractQuorums, ActionNotEnabled
+from repro.cstruct.commands import KeyConflict
+from repro.cstruct.history import CommandHistory
+from tests.conftest import cmd
+
+REL = KeyConflict()
+A = cmd("a", "put", "x")
+B = cmd("b", "put", "x")
+C = cmd("c", "put", "y")
+BOTTOM = CommandHistory.bottom(REL)
+
+
+def hist(*cmds):
+    return CommandHistory.of(REL, *cmds)
+
+
+def model(n_acceptors=3, fast=frozenset({2}), max_balnum=3):
+    quorums = AbstractQuorums(
+        acceptors=tuple(f"a{i}" for i in range(n_acceptors)),
+        classic_size=n_acceptors // 2 + 1,
+        fast_size=n_acceptors,  # E = 0 keeps small models assumption-clean
+        fast_balnums=fast,
+    )
+    return AbstractMCPaxos(
+        quorums=quorums, bottom=BOTTOM, learners=("l0", "l1"), max_balnum=max_balnum
+    )
+
+
+# -- predicates ------------------------------------------------------------------
+
+
+def test_bottom_chosen_initially():
+    m = model()
+    assert m.ballot_array.is_chosen(BOTTOM, m.quorums, m.max_balnum)
+
+
+def test_nonbottom_not_chosen_initially():
+    m = model()
+    assert not m.ballot_array.is_chosen(hist(A), m.quorums, m.max_balnum)
+
+
+def test_everything_safe_at_balnum_one_initially():
+    """Quorum intersection with balnum 0 voters makes any value safe at 1."""
+    m = model()
+    for acceptor in m.quorums.acceptors:
+        m.join_ballot(acceptor, 1)
+    assert m.ballot_array.is_safe_at(hist(A), 1, m.quorums)
+
+
+def test_nothing_safe_before_acceptors_advance():
+    """With no acceptor past balnum 0, every c-struct is still choosable at 0."""
+    m = model()
+    assert not m.ballot_array.is_safe_at(hist(A), 1, m.quorums)
+
+
+def test_choosable_respects_moved_acceptors():
+    m = model()
+    # All acceptors move past balnum 1 without voting there.
+    for acceptor in m.quorums.acceptors:
+        m.join_ballot(acceptor, 2)
+    assert not m.ballot_array.is_choosable_at(hist(A), 1, m.quorums)
+    # Balnum 0 still carries the initial ⊥ votes.
+    assert m.ballot_array.is_choosable_at(BOTTOM, 0, m.quorums)
+
+
+# -- action enabling ----------------------------------------------------------------
+
+
+def test_propose_twice_disabled():
+    m = model()
+    m.propose(A)
+    with pytest.raises(ActionNotEnabled):
+        m.propose(A)
+
+
+def test_join_ballot_monotone():
+    m = model()
+    m.join_ballot("a0", 2)
+    with pytest.raises(ActionNotEnabled):
+        m.join_ballot("a0", 1)
+
+
+def test_start_ballot_requires_proposed_commands():
+    m = model()
+    for acceptor in m.quorums.acceptors:
+        m.join_ballot(acceptor, 1)
+    with pytest.raises(ActionNotEnabled):
+        m.start_ballot(1, hist(A))
+    m.propose(A)
+    m.start_ballot(1, hist(A))
+    assert m.max_tried[1] == hist(A)
+
+
+def test_start_ballot_once():
+    m = model()
+    m.propose(A)
+    for acceptor in m.quorums.acceptors:
+        m.join_ballot(acceptor, 1)
+    m.start_ballot(1, BOTTOM)
+    with pytest.raises(ActionNotEnabled):
+        m.start_ballot(1, hist(A))
+
+
+def test_suggest_extends_max_tried():
+    m = model()
+    m.propose(A)
+    m.propose(C)
+    for acceptor in m.quorums.acceptors:
+        m.join_ballot(acceptor, 1)
+    m.start_ballot(1, hist(A))
+    m.suggest(1, [C])
+    assert m.max_tried[1] == hist(A, C)
+
+
+def test_suggest_requires_started_ballot():
+    m = model()
+    m.propose(A)
+    with pytest.raises(ActionNotEnabled):
+        m.suggest(1, [A])
+
+
+def test_classic_vote_requires_max_tried_prefix():
+    m = model()
+    m.propose(A)
+    m.propose(B)
+    for acceptor in m.quorums.acceptors:
+        m.join_ballot(acceptor, 1)
+    m.start_ballot(1, hist(A))
+    with pytest.raises(ActionNotEnabled):
+        m.classic_vote("a0", 1, hist(B))
+    m.classic_vote("a0", 1, hist(A))
+    assert m.ballot_array.vote("a0", 1) == hist(A)
+
+
+def test_classic_vote_monotone_within_balnum():
+    m = model()
+    m.propose(A)
+    m.propose(B)
+    for acceptor in m.quorums.acceptors:
+        m.join_ballot(acceptor, 1)
+    m.start_ballot(1, hist(A, B))
+    m.classic_vote("a0", 1, hist(A, B))
+    with pytest.raises(ActionNotEnabled):
+        m.classic_vote("a0", 1, hist(A))  # would shrink the vote
+
+
+def test_fast_vote_appends_at_fast_balnum():
+    m = model()
+    m.propose(A)
+    for acceptor in m.quorums.acceptors:
+        m.join_ballot(acceptor, 2)
+    m.start_ballot(2, BOTTOM)
+    m.classic_vote("a0", 2, BOTTOM)
+    m.fast_vote("a0", A)
+    assert m.ballot_array.vote("a0", 2) == hist(A)
+
+
+def test_fast_vote_disabled_at_classic_balnum():
+    m = model()
+    m.propose(A)
+    for acceptor in m.quorums.acceptors:
+        m.join_ballot(acceptor, 1)
+    m.start_ballot(1, BOTTOM)
+    m.classic_vote("a0", 1, BOTTOM)
+    with pytest.raises(ActionNotEnabled):
+        m.fast_vote("a0", A)
+
+
+def test_learn_requires_chosen():
+    m = model()
+    m.propose(A)
+    with pytest.raises(ActionNotEnabled):
+        m.learn("l0", hist(A))
+    m.learn("l0", BOTTOM)
+    assert m.learned["l0"] == BOTTOM
+
+
+def test_full_classic_round_reaches_decision():
+    m = model()
+    m.propose(A)
+    for acceptor in m.quorums.acceptors:
+        m.join_ballot(acceptor, 1)
+    m.start_ballot(1, hist(A))
+    for acceptor in m.quorums.acceptors:
+        m.classic_vote(acceptor, 1, hist(A))
+    assert m.ballot_array.is_chosen(hist(A), m.quorums, m.max_balnum)
+    m.learn("l0", hist(A))
+    assert m.learned["l0"] == hist(A)
+    m.check_invariants()
+
+
+def test_proved_safe_abstract_returns_safe_values():
+    m = model()
+    m.propose(A)
+    for acceptor in m.quorums.acceptors:
+        m.join_ballot(acceptor, 1)
+    m.start_ballot(1, hist(A))
+    for acceptor in m.quorums.acceptors:
+        m.classic_vote(acceptor, 1, hist(A))
+    for acceptor in m.quorums.acceptors:
+        m.join_ballot(acceptor, 3)
+    quorum = frozenset(m.quorums.acceptors)
+    picks = m.proved_safe(quorum, 3)
+    for value in picks:
+        assert m.ballot_array.is_safe_at(value, 3, m.quorums)
+        assert hist(A).leq(value)
+
+
+# -- randomized schedules ------------------------------------------------------------
+
+
+COMMANDS = [cmd(f"c{i}", "put", k) for i, k in enumerate("xxyyz")]
+
+
+def _random_schedule(seed: int, steps: int = 120) -> None:
+    rng = random.Random(seed)
+    m = model(max_balnum=4, fast=frozenset({2, 4}))
+    accs = list(m.quorums.acceptors)
+    for _ in range(steps):
+        action = rng.randrange(7)
+        try:
+            if action == 0:
+                candidates = [c for c in COMMANDS if c not in m.prop_cmd]
+                if candidates:
+                    m.propose(rng.choice(candidates))
+            elif action == 1:
+                m.join_ballot(rng.choice(accs), rng.randint(1, m.max_balnum))
+            elif action == 2:
+                balnum = rng.randint(1, m.max_balnum)
+                base = BOTTOM.extend(
+                    rng.sample(sorted(m.prop_cmd, key=str), k=min(len(m.prop_cmd), 2))
+                )
+                m.start_ballot(balnum, base)
+            elif action == 3:
+                balnum = rng.randint(1, m.max_balnum)
+                if m.prop_cmd:
+                    m.suggest(balnum, [rng.choice(sorted(m.prop_cmd, key=str))])
+            elif action == 4:
+                balnum = rng.randint(1, m.max_balnum)
+                tried = m.max_tried[balnum]
+                if tried is not None:
+                    m.classic_vote(rng.choice(accs), balnum, tried)
+            elif action == 5:
+                if m.prop_cmd:
+                    m.fast_vote(rng.choice(accs), rng.choice(sorted(m.prop_cmd, key=str)))
+            else:
+                acceptor = rng.choice(accs)
+                balnum = m.ballot_array.mbal[acceptor]
+                vote = m.ballot_array.vote(acceptor, balnum)
+                if vote is not None:
+                    m.learn(rng.choice(list(m.learners)), vote)
+        except ActionNotEnabled:
+            continue
+        m.check_invariants()
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_random_schedules_preserve_invariants(seed):
+    _random_schedule(seed)

@@ -1,0 +1,81 @@
+"""Commands and conflict relations."""
+
+from repro.cstruct.commands import (
+    AlwaysConflict,
+    Command,
+    CustomConflict,
+    KeyConflict,
+    NeverConflict,
+)
+from tests.conftest import cmd
+
+
+def test_command_equality_and_hash():
+    assert cmd("1") == cmd("1")
+    assert cmd("1") != cmd("2")
+    assert hash(cmd("1")) == hash(cmd("1"))
+
+
+def test_command_str():
+    assert "put" in str(cmd("1", "put", "x", 3))
+    assert "#1" in str(cmd("1"))
+
+
+def test_always_conflict_distinct_pairs():
+    rel = AlwaysConflict()
+    assert rel(cmd("1"), cmd("2"))
+    assert not rel(cmd("1"), cmd("1"))
+
+
+def test_never_conflict():
+    rel = NeverConflict()
+    assert not rel(cmd("1"), cmd("2"))
+
+
+def test_key_conflict_same_key_write():
+    rel = KeyConflict()
+    assert rel(cmd("1", "put", "x"), cmd("2", "put", "x"))
+    assert rel(cmd("1", "put", "x"), cmd("2", "get", "x"))
+
+
+def test_key_conflict_reads_commute():
+    rel = KeyConflict()
+    assert not rel(cmd("1", "get", "x"), cmd("2", "get", "x"))
+
+
+def test_key_conflict_different_keys_commute():
+    rel = KeyConflict()
+    assert not rel(cmd("1", "put", "x"), cmd("2", "put", "y"))
+
+
+def test_key_conflict_custom_read_ops():
+    rel = KeyConflict(read_ops=frozenset({"peek"}))
+    assert not rel(cmd("1", "peek", "x"), cmd("2", "peek", "x"))
+    assert rel(cmd("1", "get", "x"), cmd("2", "get", "x"))
+
+
+def test_conflict_relations_are_value_comparable():
+    assert AlwaysConflict() == AlwaysConflict()
+    assert KeyConflict() == KeyConflict()
+    assert KeyConflict() != KeyConflict(read_ops=frozenset({"peek"}))
+    assert AlwaysConflict() != NeverConflict()
+
+
+def test_custom_conflict_symmetrized():
+    def one_sided(a, b):
+        return a.cid < b.cid and a.key == b.key
+
+    rel = CustomConflict(one_sided)
+    assert rel(cmd("1", key="x"), cmd("2", key="x"))
+    assert rel(cmd("2", key="x"), cmd("1", key="x"))
+    assert not rel(cmd("1", key="x"), cmd("2", key="y"))
+    assert not rel(cmd("1"), cmd("1"))
+
+
+def test_relations_are_symmetric_on_samples():
+    rels = [AlwaysConflict(), NeverConflict(), KeyConflict()]
+    samples = [cmd("1", "put", "x"), cmd("2", "get", "x"), cmd("3", "put", "y")]
+    for rel in rels:
+        for a in samples:
+            for b in samples:
+                assert rel(a, b) == rel(b, a)

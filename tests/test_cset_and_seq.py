@@ -1,0 +1,93 @@
+"""Command-set and command-sequence c-structs."""
+
+import pytest
+
+from repro.cstruct.base import IncompatibleError
+from repro.cstruct.cset import CommandSet
+from repro.cstruct.seq import CommandSequence
+from tests.conftest import cmd
+
+A, B, C = cmd("a"), cmd("b"), cmd("c")
+
+
+# -- command sets ------------------------------------------------------------
+
+
+def test_set_append_adds():
+    assert CommandSet.bottom().append(A).cmds == frozenset({A})
+
+
+def test_set_append_idempotent():
+    one = CommandSet.of(A)
+    assert one.append(A) is one
+
+
+def test_set_order_is_inclusion():
+    assert CommandSet.of(A).leq(CommandSet.of(A, B))
+    assert not CommandSet.of(A, B).leq(CommandSet.of(A))
+
+
+def test_set_glb_is_intersection():
+    assert CommandSet.of(A, B).glb(CommandSet.of(B, C)) == CommandSet.of(B)
+
+
+def test_set_lub_is_union():
+    assert CommandSet.of(A).lub(CommandSet.of(B)) == CommandSet.of(A, B)
+
+
+def test_sets_always_compatible():
+    assert CommandSet.of(A).is_compatible(CommandSet.of(B))
+
+
+def test_set_contains():
+    assert CommandSet.of(A).contains(A)
+    assert not CommandSet.of(A).contains(B)
+
+
+# -- command sequences ---------------------------------------------------------
+
+
+def test_seq_append_preserves_order():
+    assert CommandSequence.bottom().extend([A, B]).cmds == (A, B)
+
+
+def test_seq_append_dedupes():
+    assert CommandSequence.of(A, B).append(A).cmds == (A, B)
+
+
+def test_seq_duplicates_rejected_at_construction():
+    with pytest.raises(ValueError):
+        CommandSequence.of(A, A)
+
+
+def test_seq_order_is_prefix():
+    assert CommandSequence.of(A).leq(CommandSequence.of(A, B))
+    assert not CommandSequence.of(B).leq(CommandSequence.of(A, B))
+    assert not CommandSequence.of(A, B).leq(CommandSequence.of(A))
+
+
+def test_seq_glb_longest_common_prefix():
+    left = CommandSequence.of(A, B, C)
+    right = CommandSequence.of(A, B)
+    assert left.glb(right) == CommandSequence.of(A, B)
+    diverging = CommandSequence.of(A, C)
+    assert left.glb(diverging) == CommandSequence.of(A)
+
+
+def test_seq_compatibility_is_prefix_relation():
+    assert CommandSequence.of(A).is_compatible(CommandSequence.of(A, B))
+    assert not CommandSequence.of(A, B).is_compatible(CommandSequence.of(B, A))
+
+
+def test_seq_lub_is_longer_of_compatible():
+    assert CommandSequence.of(A).lub(CommandSequence.of(A, B)) == CommandSequence.of(A, B)
+
+
+def test_seq_lub_incompatible_raises():
+    with pytest.raises(IncompatibleError):
+        CommandSequence.of(A).lub(CommandSequence.of(B))
+
+
+def test_seq_len_and_str():
+    assert len(CommandSequence.of(A, B)) == 2
+    assert str(CommandSequence.bottom()) == "⊥"

@@ -1,0 +1,107 @@
+"""Axioms CS0-CS4 executed on every c-struct implementation."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.cstruct.base import check_axioms, glb_set, is_compatible_set, lub_set
+from repro.cstruct.commands import AlwaysConflict, Command, KeyConflict, NeverConflict
+from repro.cstruct.cset import CommandSet
+from repro.cstruct.history import CommandHistory
+from repro.cstruct.seq import CommandSequence
+from repro.cstruct.value import ValueStruct
+from tests.conftest import cmd
+
+COMMANDS = [cmd("a", "put", "x"), cmd("b", "put", "x"), cmd("c", "put", "y")]
+
+
+def test_axioms_value_struct():
+    bottom = ValueStruct.bottom()
+    samples = [bottom.extend(seq) for seq in ([], [COMMANDS[0]], [COMMANDS[1]], COMMANDS)]
+    check_axioms(bottom, COMMANDS, samples)
+
+
+def test_axioms_command_set():
+    bottom = CommandSet.bottom()
+    samples = [
+        bottom,
+        bottom.append(COMMANDS[0]),
+        bottom.extend(COMMANDS[:2]),
+        bottom.extend(COMMANDS),
+    ]
+    check_axioms(bottom, COMMANDS, samples)
+
+
+def test_axioms_command_sequence():
+    bottom = CommandSequence.bottom()
+    samples = [
+        bottom,
+        bottom.append(COMMANDS[0]),
+        bottom.extend(COMMANDS[:2]),
+        bottom.extend(COMMANDS),
+    ]
+    check_axioms(bottom, COMMANDS, samples)
+
+
+def test_axioms_command_history_key_conflict():
+    rel = KeyConflict()
+    bottom = CommandHistory.bottom(rel)
+    samples = [
+        bottom,
+        bottom.append(COMMANDS[0]),
+        bottom.extend([COMMANDS[0], COMMANDS[2]]),
+        bottom.extend([COMMANDS[1], COMMANDS[0]]),
+        bottom.extend(COMMANDS),
+    ]
+    check_axioms(bottom, COMMANDS, samples)
+
+
+POOL = [
+    Command(cid=str(i), op=op, key=key)
+    for i, (op, key) in enumerate(
+        [("put", "x"), ("put", "x"), ("get", "x"), ("put", "y")]
+    )
+]
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.sampled_from([KeyConflict(), AlwaysConflict(), NeverConflict()]),
+    st.lists(st.lists(st.sampled_from(POOL), max_size=4), min_size=1, max_size=4),
+)
+def test_axioms_random_histories(rel, seqs):
+    bottom = CommandHistory.bottom(rel)
+    samples = [bottom.extend(seq) for seq in seqs]
+    check_axioms(bottom, POOL, samples)
+
+
+# -- set-level helpers --------------------------------------------------------
+
+
+def test_glb_set_folds():
+    rel = KeyConflict()
+    a = CommandHistory.of(rel, COMMANDS[0], COMMANDS[2])
+    b = CommandHistory.of(rel, COMMANDS[0])
+    c = CommandHistory.of(rel, COMMANDS[0], COMMANDS[1])
+    assert glb_set([a, b, c]) == b
+
+
+def test_lub_set_folds():
+    sets = [CommandSet.of(COMMANDS[0]), CommandSet.of(COMMANDS[1])]
+    assert lub_set(sets) == CommandSet.of(COMMANDS[0], COMMANDS[1])
+
+
+def test_glb_lub_set_empty_rejected():
+    import pytest
+
+    with pytest.raises(ValueError):
+        glb_set([])
+    with pytest.raises(ValueError):
+        lub_set([])
+
+
+def test_is_compatible_set():
+    rel = KeyConflict()
+    a = CommandHistory.of(rel, COMMANDS[0])
+    b = CommandHistory.of(rel, COMMANDS[2])
+    conflicting = CommandHistory.of(rel, COMMANDS[1])
+    assert is_compatible_set([a, b])
+    assert not is_compatible_set([a, b, conflicting])

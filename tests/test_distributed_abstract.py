@@ -1,0 +1,242 @@
+"""Distributed Abstract Multicoordinated Paxos and its refinement mapping.
+
+Proposition 6 of the paper: every behaviour of the distributed abstract
+algorithm maps (via the ``maxTried`` refinement mapping) to a behaviour of
+Abstract Multicoordinated Paxos.  We execute distributed schedules --
+scripted and randomized -- and assert the abstract invariants on the mapped
+state after every action.
+"""
+
+import random
+
+import pytest
+
+from repro.core.abstract import AbstractQuorums, ActionNotEnabled
+from repro.core.distributed_abstract import DistAbstractMCPaxos
+from repro.cstruct.commands import KeyConflict
+from repro.cstruct.history import CommandHistory
+from tests.conftest import cmd
+
+REL = KeyConflict()
+A = cmd("a", "put", "x")
+B = cmd("b", "put", "x")
+C = cmd("c", "put", "y")
+BOTTOM = CommandHistory.bottom(REL)
+
+ACCEPTORS = ("a0", "a1", "a2")
+COORDS = ("c0", "c1", "c2")
+
+
+def majorities(members):
+    from itertools import combinations
+
+    size = len(members) // 2 + 1
+    return tuple(frozenset(combo) for combo in combinations(members, size))
+
+
+def model(fast=frozenset({3}), max_balnum=3):
+    quorums = AbstractQuorums(
+        acceptors=ACCEPTORS,
+        classic_size=2,
+        fast_size=3,
+        fast_balnums=fast,
+    )
+    coord_quorums = {
+        0: (),
+        1: (frozenset({"c0"}),),  # single-coordinated
+        2: majorities(COORDS),  # multicoordinated
+        # Fast balnum: a single coordinator starts it (acceptors then
+        # append proposals directly).  B.1.3 requires same-balnum
+        # coordinator quorums to intersect even for fast balnums.
+        3: (frozenset({"c0"}),),
+    }
+    return DistAbstractMCPaxos(
+        quorums=quorums,
+        coordinators=COORDS,
+        coord_quorums=coord_quorums,
+        bottom=BOTTOM,
+        learners=("l0", "l1"),
+        max_balnum=max_balnum,
+    )
+
+
+def join_all(m, balnum):
+    for acceptor in ACCEPTORS:
+        m.phase1b(acceptor, balnum)
+
+
+# -- scripted runs -----------------------------------------------------------------
+
+
+def test_single_coordinated_balnum_end_to_end():
+    m = model()
+    m.propose(A)
+    m.phase1a("c0", 1)
+    join_all(m, 1)
+    value = m.phase2start("c0", 1, frozenset(ACCEPTORS[:2]), suffix=[A])
+    assert value.contains(A)
+    for acceptor in ACCEPTORS:
+        m.phase2b_classic(acceptor, 1, frozenset({"c0"}))
+    m.learn("l0", 1, frozenset(ACCEPTORS[:2]))
+    assert m.learned["l0"].contains(A)
+    m.check_refinement()
+
+
+def test_multicoordinated_balnum_requires_quorum_of_2a():
+    m = model()
+    m.propose(A)
+    m.phase1a("c0", 2)
+    join_all(m, 2)
+    m.phase2start("c0", 2, frozenset(ACCEPTORS[:2]), suffix=[A])
+    # Only one coordinator tried: no coordinator quorum is complete.
+    with pytest.raises(ActionNotEnabled):
+        m.phase2b_classic("a0", 2, frozenset({"c0", "c1"}))
+    m.phase2start("c1", 2, frozenset(ACCEPTORS[:2]), suffix=[A])
+    m.phase2b_classic("a0", 2, frozenset({"c0", "c1"}))
+    assert m.ballot_array.vote("a0", 2).contains(A)
+    m.check_refinement()
+
+
+def test_acceptor_takes_glb_of_coordinator_quorum():
+    m = model()
+    m.propose(A)
+    m.propose(C)
+    m.phase1a("c0", 2)
+    join_all(m, 2)
+    m.phase2start("c0", 2, frozenset(ACCEPTORS[:2]))
+    m.phase2start("c1", 2, frozenset(ACCEPTORS[:2]))
+    m.phase2a_classic("c0", 2, A)  # c0 tried ⟨A⟩
+    m.phase2a_classic("c1", 2, C)  # c1 tried ⟨C⟩ -- compatible, glb = ⊥
+    m.phase2b_classic("a0", 2, frozenset({"c0", "c1"}))
+    assert m.ballot_array.vote("a0", 2) == BOTTOM
+    # Once both forward both commands, the acceptor's vote grows.
+    m.phase2a_classic("c0", 2, C)
+    m.phase2a_classic("c1", 2, A)
+    m.phase2b_classic("a0", 2, frozenset({"c0", "c1"}))
+    vote = m.ballot_array.vote("a0", 2)
+    assert vote.contains(A) and vote.contains(C)
+    m.check_refinement()
+
+
+def test_mapped_max_tried_is_glb_over_quorums():
+    m = model()
+    m.propose(A)
+    m.propose(C)
+    m.phase1a("c0", 2)
+    join_all(m, 2)
+    m.phase2start("c0", 2, frozenset(ACCEPTORS[:2]), suffix=[A, C])
+    assert m.mapped_max_tried(2) is None  # no full quorum tried yet
+    m.phase2start("c1", 2, frozenset(ACCEPTORS[:2]), suffix=[A])
+    mapped = m.mapped_max_tried(2)
+    assert mapped is not None
+    assert mapped.contains(A)
+    assert not mapped.contains(C)  # C only tried by c0, no quorum agrees yet
+    m.check_refinement()
+
+
+def test_fast_balnum_direct_appends():
+    m = model()
+    m.propose(A)
+    m.phase1a("c0", 3)
+    join_all(m, 3)
+    m.phase2start("c0", 3, frozenset(ACCEPTORS[:2]))
+    for acceptor in ACCEPTORS:
+        m.phase2b_classic(acceptor, 3, frozenset({"c0"}))
+    m.phase2b_fast("a0", A)
+    m.phase2b_fast("a1", A)
+    m.phase2b_fast("a2", A)
+    m.learn("l1", 3, frozenset(ACCEPTORS))
+    assert m.learned["l1"].contains(A)
+    m.check_refinement()
+
+
+def test_learn_requires_full_quorum_of_2b():
+    m = model()
+    m.propose(A)
+    m.phase1a("c0", 1)
+    join_all(m, 1)
+    m.phase2start("c0", 1, frozenset(ACCEPTORS[:2]), suffix=[A])
+    m.phase2b_classic("a0", 1, frozenset({"c0"}))
+    with pytest.raises(ActionNotEnabled):
+        m.learn("l0", 1, frozenset(ACCEPTORS[:2]))  # a1 has not voted
+
+
+def test_phase2start_picks_previous_round_values():
+    """A new balnum must extend what may have been chosen below it."""
+    m = model()
+    m.propose(A)
+    m.phase1a("c0", 1)
+    join_all(m, 1)
+    m.phase2start("c0", 1, frozenset(ACCEPTORS[:2]), suffix=[A])
+    for acceptor in ACCEPTORS:
+        m.phase2b_classic(acceptor, 1, frozenset({"c0"}))
+    # Move to balnum 2; the pick must contain A.
+    m.phase1a("c2", 2)
+    for acceptor in ACCEPTORS:
+        m.phase1b(acceptor, 2)
+    value = m.phase2start("c2", 2, frozenset(ACCEPTORS))
+    assert value.contains(A)
+    m.check_refinement()
+
+
+# -- randomized schedules with per-step refinement checking ----------------------------
+
+
+COMMANDS = [cmd(f"r{i}", "put", k) for i, k in enumerate("xxyy")]
+
+
+def _random_schedule(seed: int, steps: int = 100) -> None:
+    rng = random.Random(seed)
+    m = model()
+    balnums = list(range(1, m.max_balnum + 1))
+    acc_quorums = list(m.quorums.quorums(1))
+    for _ in range(steps):
+        action = rng.randrange(8)
+        try:
+            if action == 0:
+                remaining = [c for c in COMMANDS if c not in m.prop_cmd]
+                if remaining:
+                    m.propose(rng.choice(remaining))
+            elif action == 1:
+                m.phase1a(rng.choice(COORDS), rng.choice(balnums))
+            elif action == 2:
+                m.phase1b(rng.choice(ACCEPTORS), rng.choice(balnums))
+            elif action == 3:
+                suffix = rng.sample(sorted(m.prop_cmd, key=str), k=min(len(m.prop_cmd), 1))
+                m.phase2start(
+                    rng.choice(COORDS),
+                    rng.choice(balnums),
+                    frozenset(rng.choice(acc_quorums)),
+                    suffix=suffix,
+                )
+            elif action == 4:
+                if m.prop_cmd:
+                    m.phase2a_classic(
+                        rng.choice(COORDS),
+                        rng.choice(balnums),
+                        rng.choice(sorted(m.prop_cmd, key=str)),
+                    )
+            elif action == 5:
+                balnum = rng.choice(balnums)
+                quorums = m.coord_quorums.get(balnum, ())
+                if quorums:
+                    m.phase2b_classic(
+                        rng.choice(ACCEPTORS), balnum, rng.choice(list(quorums))
+                    )
+            elif action == 6:
+                if m.prop_cmd:
+                    m.phase2b_fast(
+                        rng.choice(ACCEPTORS), rng.choice(sorted(m.prop_cmd, key=str))
+                    )
+            else:
+                balnum = rng.choice(balnums)
+                quorum = frozenset(rng.choice(list(m.quorums.quorums(balnum))))
+                m.learn(rng.choice(("l0", "l1")), balnum, quorum)
+        except ActionNotEnabled:
+            continue
+        m.check_refinement()
+
+
+@pytest.mark.parametrize("seed", range(6))
+def test_random_schedules_satisfy_refinement(seed):
+    _random_schedule(seed)

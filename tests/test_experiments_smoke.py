@@ -1,0 +1,67 @@
+"""Smoke tests for the experiment harness (small parameterizations).
+
+The full experiments run under ``pytest benchmarks/ --benchmark-only``;
+these tests keep the harness itself under unit-test coverage with reduced
+workloads, so a regression in an experiment runner fails fast here.
+"""
+
+from repro.bench.experiments import (
+    _availability_run,
+    _e5_run,
+    _e7_run,
+    _e8_run,
+    experiment_e1,
+    experiment_e2,
+    experiment_e4,
+    experiment_e6,
+)
+
+
+def test_e1_shapes():
+    rows = experiment_e1()
+    assert len(rows) == 7
+    for row in rows:
+        assert row["steps"] == row["paper"]
+
+
+def test_e2_small_range():
+    rows = experiment_e2(range(3, 6))
+    assert [row["n"] for row in rows] == [3, 4, 5]
+    for row in rows:
+        assert row["classic/multicoord quorum"] <= row["fast quorum"]
+
+
+def test_e3_single_run():
+    row = _availability_run(rtype=2, n_commands=10, crash_at=25.0)
+    assert row["unlearned"] == 0
+    assert row["interruption"] <= 1.0
+
+
+def test_e4_rows_have_bounds():
+    rows = experiment_e4()
+    assert {row["mode"] for row in rows} == {"classic (leader)", "multicoordinated", "fast"}
+    for row in rows:
+        assert 0.0 < row["max load"] <= 1.0
+
+
+def test_e5_single_cell():
+    row = _e5_run("multicoordinated", conflict_rate=0.0, seed=1)
+    assert row["unlearned"] == 0
+    assert row["collisions"] == 0
+
+
+def test_e6_rows():
+    rows = experiment_e6()
+    assert all(row["coordinator writes"] == 0 for row in rows)
+
+
+def test_e7_single_run_returns_latency_or_none():
+    collided, latency = _e7_run("coordinated", seed=0)
+    assert isinstance(collided, bool)
+    assert latency is None or latency > 0
+
+
+def test_e8_single_cell():
+    row = _e8_run("single-coordinated", jitter=0.0, conflict_rate=1.0, seed=2)
+    assert row["unlearned"] == 0
+    assert row["mean latency (steps)"] == 3.0

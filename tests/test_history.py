@@ -1,0 +1,172 @@
+"""Command histories: unit behaviour (Section 3.3.1)."""
+
+import pytest
+
+from repro.cstruct.base import IncompatibleError
+from repro.cstruct.commands import AlwaysConflict, KeyConflict, NeverConflict
+from repro.cstruct.history import CommandHistory
+from tests.conftest import cmd
+
+REL = KeyConflict()
+A = cmd("a", "put", "x")  # conflicts with B (same key, writes)
+B = cmd("b", "put", "x")
+C = cmd("c", "put", "y")  # commutes with A and B
+D = cmd("d", "get", "x")  # conflicts with A, B (read vs write)
+E = cmd("e", "get", "x")  # commutes with D, conflicts with A, B
+
+
+def hist(*cmds):
+    return CommandHistory.of(REL, *cmds)
+
+
+def test_bottom_is_empty():
+    assert CommandHistory.bottom(REL).is_bottom()
+    assert len(CommandHistory.bottom(REL)) == 0
+
+
+def test_append_idempotent():
+    h = hist(A, C)
+    assert h.append(A) == h
+
+
+def test_semantic_equality_commuting_order_irrelevant():
+    assert hist(A, C) == hist(C, A)
+    assert hash(hist(A, C)) == hash(hist(C, A))
+
+
+def test_semantic_equality_conflicting_order_matters():
+    assert hist(A, B) != hist(B, A)
+
+
+def test_leq_conflicting_pairs_keep_order():
+    assert hist(A).leq(hist(A, B))
+    assert not hist(B).leq(hist(A, B))  # A conflicts B and precedes it
+
+
+def test_leq_commuting_extension():
+    assert hist(A).leq(hist(C, A))  # C commutes with A, any order fine
+
+
+def test_leq_not_superset():
+    assert not hist(A, B).leq(hist(A))
+
+
+def test_leq_reflexive_antisymmetric():
+    h, g = hist(A, B, C), hist(A, B, C)
+    assert h.leq(h)
+    assert h.leq(g) and g.leq(h) and h == g
+
+
+def test_glb_common_prefix():
+    left = hist(A, B)
+    right = hist(A, D)
+    assert left.glb(right) == hist(A)
+
+
+def test_glb_conflicting_head_disagreement_is_bottom():
+    assert hist(A, B).glb(hist(B, A)).is_bottom()
+
+
+def test_glb_keeps_commuting_commands():
+    left = hist(A, C)
+    right = hist(C, B)
+    assert left.glb(right) == hist(C)
+
+
+def test_glb_transitive_exclusion():
+    # c ∈ both, but its conflicting predecessors differ -> excluded.
+    left = hist(A, D)   # D after A
+    right = hist(B, D)  # D after B
+    assert left.glb(right).is_bottom()
+
+
+def test_glb_symmetric():
+    left, right = hist(A, C, D), hist(C, B)
+    assert left.glb(right) == right.glb(left)
+
+
+def test_lub_merges_commuting():
+    assert hist(A).lub(hist(C)) == hist(A, C)
+
+
+def test_lub_extension_chain():
+    small, big = hist(A), hist(A, B, C)
+    assert small.lub(big) == big
+
+
+def test_lub_incompatible_conflicting_order():
+    with pytest.raises(IncompatibleError):
+        hist(A, B).lub(hist(B, A))
+
+
+def test_incompatible_cross_difference():
+    # A only in left, B only in right, A conflicts B -> incompatible.
+    assert not hist(A).is_compatible(hist(B))
+    assert hist(A).is_compatible(hist(C))
+
+
+def test_incompatible_mixed_membership():
+    # D in both; left has A before D, right lacks A; a common upper bound
+    # would need A both before D (from left) and after D (from right).
+    left = hist(A, D)
+    right = hist(D)
+    assert right.leq(left) is False
+    assert left.is_compatible(right) is False
+
+
+def test_compatible_when_shared_prefix_ordered_same():
+    left = hist(A, D)
+    right = hist(A, E)
+    assert left.is_compatible(right)
+    merged = left.lub(right)
+    assert merged.contains(D) and merged.contains(E)
+
+
+def test_contains_and_command_set():
+    h = hist(A, C)
+    assert h.contains(A) and h.contains(C) and not h.contains(B)
+    assert h.command_set() == frozenset({A, C})
+
+
+def test_linear_extension_respects_conflict_order():
+    h = hist(B, A, C)  # B before A (conflicting)
+    order = h.linear_extension()
+    assert order.index(B) < order.index(A)
+
+
+def test_delta_after_prefix():
+    prefix = hist(A)
+    full = prefix.extend([B, C])
+    delta = full.delta_after(prefix)
+    assert set(delta) == {B, C}
+    replay = prefix.extend(delta)
+    assert replay == full
+
+
+def test_mixed_conflict_relations_rejected():
+    other = CommandHistory.bottom(AlwaysConflict())
+    with pytest.raises(ValueError):
+        hist(A).glb(other)
+
+
+def test_always_conflict_behaves_like_sequences():
+    rel = AlwaysConflict()
+    h = CommandHistory.of(rel, A, B, C)
+    g = CommandHistory.of(rel, A, B)
+    assert g.leq(h)
+    assert h.glb(g) == g
+    assert not CommandHistory.of(rel, B, A).is_compatible(h)
+
+
+def test_never_conflict_behaves_like_sets():
+    rel = NeverConflict()
+    h = CommandHistory.of(rel, A, B)
+    g = CommandHistory.of(rel, B, C)
+    assert h.is_compatible(g)
+    assert h.glb(g).command_set() == {B}
+    assert h.lub(g).command_set() == {A, B, C}
+
+
+def test_str_rendering():
+    assert str(CommandHistory.bottom(REL)) == "⊥"
+    assert "#a" in str(hist(A))

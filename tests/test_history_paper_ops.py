@@ -1,0 +1,118 @@
+"""Equivalence of the paper's recursive operators with the direct ones.
+
+Section 3.3.1 gives recursive sequence-level definitions of ``Prefix``
+(glb), ``AreCompatible`` and ``⊔``.  We implement them verbatim in
+:mod:`repro.cstruct.history_ops` and check they agree -- as *histories*,
+i.e. up to commuting-command reordering -- with the direct implementations
+of :mod:`repro.cstruct.history`.
+"""
+
+from hypothesis import given, strategies as st
+
+from repro.cstruct import history_ops as ops
+from repro.cstruct.commands import AlwaysConflict, Command, KeyConflict, NeverConflict
+from repro.cstruct.history import CommandHistory
+from tests.conftest import cmd
+
+REL = KeyConflict()
+A = cmd("a", "put", "x")
+B = cmd("b", "put", "x")
+C = cmd("c", "put", "y")
+D = cmd("d", "get", "x")
+
+POOL = [
+    Command(cid=str(i), op=op, key=key)
+    for i, (op, key) in enumerate(
+        [("put", "x"), ("put", "x"), ("get", "x"), ("put", "y"), ("get", "y")]
+    )
+]
+
+RELATIONS = st.sampled_from([KeyConflict(), AlwaysConflict(), NeverConflict()])
+cmd_lists = st.lists(st.sampled_from(POOL), max_size=5)
+
+
+def as_history(seq, rel=REL):
+    return CommandHistory.of(rel, *seq)
+
+
+# -- unit checks of the verbatim operators -------------------------------------
+
+
+def test_descendants_direct_conflict():
+    assert ops.descendants(A, (B, C), REL) == (B,)
+
+
+def test_descendants_transitive():
+    # D conflicts A; B conflicts D (same key writes/read) -> both descendants.
+    assert ops.descendants(A, (D, B, C), REL) == (D, B)
+
+
+def test_prefix_identical():
+    assert ops.prefix((A, C), (A, C), REL) == (A, C)
+
+
+def test_prefix_diverging_conflicts():
+    assert ops.prefix((A, B), (B, A), REL) == ()
+
+
+def test_prefix_keeps_commuting_tail():
+    # C commutes with everything here and appears in both.
+    assert set(ops.prefix((A, C), (C, B), REL)) == {C}
+
+
+def test_are_compatible_simple_cases():
+    assert ops.are_compatible((A,), (A, B), REL)
+    assert not ops.are_compatible((A, B), (B, A), REL)
+    assert ops.are_compatible((A, C), (C,), REL)
+    assert not ops.are_compatible((A,), (B,), REL)
+
+
+def test_lub_verbatim_merges():
+    merged = ops.lub((A, C), (A, B))
+    assert set(merged) == {A, B, C}
+
+
+def test_glb_many_folds():
+    assert ops.glb_many([(A, B), (A, D), (A,)], REL) == (A,)
+
+
+def test_lub_many_folds():
+    merged = ops.lub_many([(A,), (A, B), (A, C)])
+    assert set(merged) == {A, B, C}
+
+
+def test_glb_many_empty_rejected():
+    import pytest
+
+    with pytest.raises(ValueError):
+        ops.glb_many([], REL)
+    with pytest.raises(ValueError):
+        ops.lub_many([])
+
+
+# -- equivalence properties -----------------------------------------------------
+
+
+@given(RELATIONS, cmd_lists, cmd_lists)
+def test_prefix_equals_direct_glb(rel, xs, ys):
+    h = CommandHistory.of(rel, *xs)
+    g = CommandHistory.of(rel, *ys)
+    paper = CommandHistory.of(rel, *ops.prefix(h.cmds, g.cmds, rel))
+    assert paper == h.glb(g)
+
+
+@given(RELATIONS, cmd_lists, cmd_lists)
+def test_are_compatible_equals_direct(rel, xs, ys):
+    h = CommandHistory.of(rel, *xs)
+    g = CommandHistory.of(rel, *ys)
+    assert ops.are_compatible(h.cmds, g.cmds, rel) == h.is_compatible(g)
+
+
+@given(RELATIONS, cmd_lists, cmd_lists)
+def test_lub_equals_direct_when_compatible(rel, xs, ys):
+    h = CommandHistory.of(rel, *xs)
+    g = CommandHistory.of(rel, *ys)
+    if not h.is_compatible(g):
+        return
+    paper = CommandHistory.of(rel, *ops.lub(h.cmds, g.cmds))
+    assert paper == h.lub(g)

@@ -1,0 +1,160 @@
+"""Property-based tests for command histories (hypothesis).
+
+The direct glb/lub/leq implementations in :mod:`repro.cstruct.history` come
+with correctness arguments (see the module docstring); these properties
+execute those arguments on randomized inputs:
+
+* ``⊑`` is a partial order and ``h ⊑ h • σ``;
+* glb is the greatest lower bound; lub the least upper bound;
+* the trusted fast-path constructions (append/glb/lub) agree with full
+  re-canonicalization;
+* compatibility is symmetric and equivalent to the existence of an upper
+  bound we can exhibit.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.cstruct.commands import AlwaysConflict, Command, KeyConflict, NeverConflict
+from repro.cstruct.history import CommandHistory, _canonical
+
+RELATIONS = st.sampled_from(
+    [KeyConflict(), AlwaysConflict(), NeverConflict()]
+)
+
+# A small command pool over two keys with reads and writes, so the conflict
+# graph under KeyConflict is non-trivial.
+POOL = [
+    Command(cid=str(i), op=op, key=key)
+    for i, (op, key) in enumerate(
+        [("put", "x"), ("put", "x"), ("get", "x"), ("put", "y"), ("get", "y"), ("put", "y")]
+    )
+]
+
+cmd_lists = st.lists(st.sampled_from(POOL), max_size=6)
+
+
+def build(rel, cmds):
+    return CommandHistory.bottom(rel).extend(cmds)
+
+
+@given(RELATIONS, cmd_lists)
+def test_extend_is_monotone(rel, cmds):
+    h = CommandHistory.bottom(rel)
+    for c in cmds:
+        g = h.append(c)
+        assert h.leq(g)
+        h = g
+
+
+@given(RELATIONS, cmd_lists, cmd_lists)
+def test_leq_iff_extension_exists(rel, base, extra):
+    h = build(rel, base)
+    g = h.extend(extra)
+    assert h.leq(g)
+
+
+@given(RELATIONS, cmd_lists, cmd_lists)
+def test_leq_antisymmetry(rel, xs, ys):
+    h, g = build(rel, xs), build(rel, ys)
+    if h.leq(g) and g.leq(h):
+        assert h == g
+
+
+@given(RELATIONS, cmd_lists, cmd_lists, cmd_lists)
+def test_leq_transitivity(rel, xs, ys, zs):
+    h, g, k = build(rel, xs), build(rel, ys), build(rel, zs)
+    if h.leq(g) and g.leq(k):
+        assert h.leq(k)
+
+
+@given(RELATIONS, cmd_lists)
+def test_append_fast_path_matches_recanonicalization(rel, cmds):
+    h = CommandHistory.bottom(rel)
+    for c in cmds:
+        h = h.append(c)
+        assert h.cmds == _canonical(h.cmds, rel)
+
+
+@given(RELATIONS, cmd_lists, cmd_lists)
+def test_glb_is_greatest_lower_bound(rel, xs, ys):
+    h, g = build(rel, xs), build(rel, ys)
+    m = h.glb(g)
+    assert m.cmds == _canonical(m.cmds, rel)  # fast path stays canonical
+    assert m.leq(h) and m.leq(g)
+    # Greatest: every common prefix reachable by truncating either side is ⊑ m.
+    for i in range(len(h.cmds) + 1):
+        candidate = build(rel, h.cmds[:i])
+        if candidate.leq(h) and candidate.leq(g):
+            assert candidate.leq(m)
+
+
+@given(RELATIONS, cmd_lists, cmd_lists)
+def test_glb_symmetry(rel, xs, ys):
+    h, g = build(rel, xs), build(rel, ys)
+    assert h.glb(g) == g.glb(h)
+
+
+@given(RELATIONS, cmd_lists, cmd_lists)
+def test_compatibility_symmetry(rel, xs, ys):
+    h, g = build(rel, xs), build(rel, ys)
+    assert h.is_compatible(g) == g.is_compatible(h)
+
+
+@given(RELATIONS, cmd_lists, cmd_lists)
+def test_lub_is_least_upper_bound(rel, xs, ys):
+    h, g = build(rel, xs), build(rel, ys)
+    if not h.is_compatible(g):
+        return
+    j = h.lub(g)
+    assert j.cmds == _canonical(j.cmds, rel)  # fast path stays canonical
+    assert h.leq(j) and g.leq(j)
+    assert j.command_set() == h.command_set() | g.command_set()
+
+
+@given(RELATIONS, cmd_lists, cmd_lists, cmd_lists)
+def test_lub_below_any_upper_bound(rel, xs, ys, zs):
+    h, g = build(rel, xs), build(rel, ys)
+    upper = build(rel, zs)
+    if h.leq(upper) and g.leq(upper):
+        assert h.is_compatible(g)
+        assert h.lub(g).leq(upper)
+
+
+@given(RELATIONS, cmd_lists, cmd_lists)
+def test_common_extension_implies_compatibility(rel, xs, extra):
+    h = build(rel, xs)
+    g = h.extend(extra)
+    assert h.is_compatible(g)
+    assert h.lub(g) == g
+
+
+@given(RELATIONS, cmd_lists, cmd_lists)
+def test_glb_lub_absorption(rel, xs, ys):
+    h, g = build(rel, xs), build(rel, ys)
+    m = h.glb(g)
+    assert m.lub(h) == h
+    assert h.glb(h.lub(m)) == h
+
+
+@settings(max_examples=60)
+@given(RELATIONS, cmd_lists, cmd_lists)
+def test_delta_after_replays(rel, xs, extra):
+    prefix = build(rel, xs)
+    full = prefix.extend(extra)
+    assert prefix.extend(full.delta_after(prefix)) == full
+
+
+@given(RELATIONS, st.permutations(POOL))
+def test_canonical_form_is_representation_independent(rel, perm):
+    """Permutations that preserve conflicting-pair order canonicalize equally."""
+    reference = build(rel, POOL)
+    candidate = build(rel, perm)
+    same_pair_order = all(
+        (perm.index(a) < perm.index(b)) == (POOL.index(a) < POOL.index(b))
+        for i, a in enumerate(POOL)
+        for b in POOL[i + 1 :]
+        if rel(a, b)
+    )
+    if same_pair_order:
+        assert candidate == reference
+        assert candidate.cmds == reference.cmds

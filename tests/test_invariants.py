@@ -1,0 +1,90 @@
+"""The safety oracles themselves must detect violations."""
+
+import pytest
+
+from repro.core.invariants import (
+    ConsensusInvariants,
+    GeneralizedInvariants,
+    SafetyViolation,
+)
+from repro.cstruct.commands import KeyConflict
+from repro.cstruct.history import CommandHistory
+from tests.conftest import cmd
+
+REL = KeyConflict()
+A = cmd("a", "put", "x")
+B = cmd("b", "put", "x")
+
+
+class FakeLearner:
+    def __init__(self, pid, learned=None):
+        self.pid = pid
+        self.learned = learned
+
+
+def test_consensus_ok_when_nothing_learned():
+    oracle = ConsensusInvariants([FakeLearner("l0")], proposed=[A])
+    oracle(None)
+
+
+def test_consensus_detects_unproposed_value():
+    oracle = ConsensusInvariants([FakeLearner("l0", A)], proposed=[B])
+    with pytest.raises(SafetyViolation, match="nontriviality"):
+        oracle(None)
+
+
+def test_consensus_detects_disagreement():
+    learners = [FakeLearner("l0", A), FakeLearner("l1", B)]
+    oracle = ConsensusInvariants(learners, proposed=[A, B])
+    with pytest.raises(SafetyViolation, match="consistency"):
+        oracle(None)
+
+
+def test_consensus_detects_instability():
+    learner = FakeLearner("l0", A)
+    oracle = ConsensusInvariants([learner], proposed=[A, B])
+    oracle(None)
+    learner.learned = B
+    with pytest.raises(SafetyViolation, match="stability"):
+        oracle(None)
+
+
+def test_consensus_allow_extends_proposals():
+    learner = FakeLearner("l0", A)
+    oracle = ConsensusInvariants([learner], proposed=[])
+    oracle.allow(A)
+    oracle(None)
+
+
+def test_generalized_detects_unproposed_command():
+    learned = CommandHistory.of(REL, A)
+    oracle = GeneralizedInvariants([FakeLearner("l0", learned)], proposed=[B])
+    with pytest.raises(SafetyViolation, match="nontriviality"):
+        oracle(None)
+
+
+def test_generalized_detects_incompatible_learners():
+    left = FakeLearner("l0", CommandHistory.of(REL, A, B))
+    right = FakeLearner("l1", CommandHistory.of(REL, B, A))
+    oracle = GeneralizedInvariants([left, right], proposed=[A, B])
+    with pytest.raises(SafetyViolation, match="consistency"):
+        oracle(None)
+
+
+def test_generalized_detects_regression():
+    learner = FakeLearner("l0", CommandHistory.of(REL, A))
+    oracle = GeneralizedInvariants([learner], proposed=[A, B])
+    oracle(None)
+    learner.learned = CommandHistory.bottom(REL)
+    with pytest.raises(SafetyViolation, match="stability"):
+        oracle(None)
+
+
+def test_generalized_accepts_compatible_growth():
+    learner = FakeLearner("l0", CommandHistory.bottom(REL))
+    oracle = GeneralizedInvariants([learner], proposed=[A, B])
+    oracle(None)
+    learner.learned = CommandHistory.of(REL, A)
+    oracle(None)
+    learner.learned = CommandHistory.of(REL, A, B)
+    oracle(None)

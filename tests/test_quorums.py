@@ -1,0 +1,134 @@
+"""Quorum systems and Assumptions 1-3 (Section 2.2, E2 claims)."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.quorums import CoordinatorQuorums, QuorumSystem, paper_quorum_sizes
+
+
+def test_default_majority_quorums():
+    system = QuorumSystem(range(5))
+    assert system.f == 2
+    assert system.classic_quorum_size == 3
+
+
+def test_default_fast_tolerance_maximal():
+    system = QuorumSystem(range(5))
+    assert system.e == 1
+    assert system.fast_quorum_size == 4
+    # E is maximal: E+1 would break Assumption 2.
+    with pytest.raises(ValueError):
+        QuorumSystem(range(5), e=system.e + 1)
+
+
+def test_assumption1_requires_majority_intersection():
+    with pytest.raises(ValueError):
+        QuorumSystem(range(4), f=2)  # n <= 2F
+
+
+def test_assumption2_requires_n_gt_2e_plus_f():
+    with pytest.raises(ValueError):
+        QuorumSystem(range(5), f=2, e=2)
+
+
+def test_e_cannot_exceed_f():
+    with pytest.raises(ValueError):
+        QuorumSystem(range(7), f=1, e=2)
+
+
+def test_empty_acceptors_rejected():
+    with pytest.raises(ValueError):
+        QuorumSystem([])
+
+
+def test_negative_tolerances_rejected():
+    with pytest.raises(ValueError):
+        QuorumSystem(range(3), f=-1)
+
+
+def test_is_quorum_by_cardinality():
+    system = QuorumSystem(["a", "b", "c", "d", "e"])
+    assert system.is_quorum({"a", "b", "c"})
+    assert not system.is_quorum({"a", "b"})
+    assert system.is_quorum({"a", "b", "c", "d"}, fast=True)
+    assert not system.is_quorum({"a", "b", "c"}, fast=True)
+
+
+def test_is_quorum_ignores_foreign_members():
+    system = QuorumSystem(["a", "b", "c"])
+    assert not system.is_quorum({"a", "x", "y"})
+
+
+def test_quorum_enumeration():
+    system = QuorumSystem(range(4))
+    classic = list(system.quorums())
+    assert len(classic) == math.comb(4, system.classic_quorum_size)
+    assert all(len(q) == system.classic_quorum_size for q in classic)
+
+
+def test_min_intersection_formula():
+    system = QuorumSystem(range(5))
+    assert system.min_intersection(3, 3) == 1
+    assert system.min_intersection(3, 4) == 2
+
+
+@given(st.integers(min_value=1, max_value=25))
+def test_default_construction_satisfies_assumptions(n):
+    system = QuorumSystem(range(n))
+    system.check_assumptions(exhaustive=n <= 6)
+
+
+@given(st.integers(min_value=3, max_value=9), st.data())
+def test_explicit_tolerances_satisfy_assumptions(n, data):
+    f = data.draw(st.integers(min_value=0, max_value=(n - 1) // 2))
+    e_max = max((n - f - 1) // 2, 0)
+    e = data.draw(st.integers(min_value=0, max_value=min(e_max, f)))
+    system = QuorumSystem(range(n), f=f, e=e)
+    system.check_assumptions(exhaustive=n <= 6)
+
+
+def test_paper_quorum_sizes_headline_formulas():
+    """Fast quorums are ⌈3n/4⌉ when classic quorums are majorities.
+
+    (The TR prints the slightly conservative ⌈(3n+1)/4⌉, which coincides
+    except when 4 divides n; the tight bound is ⌈3n/4⌉.)
+    """
+    for n in range(3, 20):
+        sizes = paper_quorum_sizes(n)
+        assert sizes["classic_quorum"] == n // 2 + 1  # any majority
+        assert sizes["fast_quorum"] == math.ceil(3 * n / 4)
+        assert sizes["balanced_quorum"] == math.ceil((2 * n + 1) / 3)
+
+
+def test_balanced_quorums_satisfy_both_assumptions():
+    """Sets of ⌈(2n+1)/3⌉ acceptors can serve as classic AND fast quorums."""
+    for n in range(3, 15):
+        size = math.ceil((2 * n + 1) / 3)
+        e = f = n - size
+        if e < 0:
+            continue
+        system = QuorumSystem(range(n), f=f, e=e)
+        system.check_assumptions(exhaustive=n <= 6)
+        assert system.classic_quorum_size == system.fast_quorum_size == size
+
+
+def test_coordinator_quorums_assumption3():
+    good = CoordinatorQuorums([frozenset({0, 1}), frozenset({1, 2}), frozenset({0, 2})])
+    good.check_assumption()
+    bad = CoordinatorQuorums([frozenset({0}), frozenset({1})])
+    with pytest.raises(AssertionError):
+        bad.check_assumption()
+
+
+def test_coordinator_quorums_covered_by():
+    quorums = CoordinatorQuorums([frozenset({0, 1}), frozenset({1, 2})])
+    assert quorums.covered_by(frozenset({0, 1, 2}))
+    assert quorums.covered_by(frozenset({1, 2}))
+    assert not quorums.covered_by(frozenset({0, 2}))
+
+
+def test_coordinator_quorums_empty_rejected():
+    with pytest.raises(ValueError):
+        CoordinatorQuorums([])

@@ -1,0 +1,143 @@
+"""Round numbers and round schedules (Sections 4.4-4.5)."""
+
+import pytest
+
+from repro.core.rounds import (
+    ZERO,
+    RoundId,
+    RoundKind,
+    RoundSchedule,
+    RoundTypePolicy,
+    majorities,
+)
+
+
+def test_zero_is_smallest():
+    assert ZERO < RoundId(0, 1, 0, 0)
+    assert ZERO < RoundId(1, 0, 0, 0)
+    assert not RoundId(0, 1, 0, 0) < ZERO
+
+
+def test_lexicographic_order():
+    assert RoundId(0, 1, 2, 0) < RoundId(0, 2, 0, 0)  # count dominates coord
+    assert RoundId(0, 5, 9, 9) < RoundId(1, 0, 0, 0)  # mcount dominates all
+    assert RoundId(0, 1, 0, 0) < RoundId(0, 1, 1, 0)  # coord breaks ties
+    assert RoundId(0, 1, 1, 0) < RoundId(0, 1, 1, 2)  # rtype last
+
+
+def test_total_ordering_helpers():
+    a, b = RoundId(0, 1, 0, 1), RoundId(0, 2, 0, 1)
+    assert a <= b and a < b and b > a and b >= a
+    assert max(a, b) == b
+
+
+def test_round_equality_and_hash():
+    assert RoundId(0, 1, 2, 3) == RoundId(0, 1, 2, 3)
+    assert hash(RoundId(0, 1, 2, 3)) == hash(RoundId(0, 1, 2, 3))
+
+
+def test_policy_default_mapping():
+    policy = RoundTypePolicy()
+    assert policy.kind(0) is RoundKind.FAST
+    assert policy.kind(1) is RoundKind.SINGLE
+    assert policy.kind(2) is RoundKind.MULTI
+    assert policy.kind(7) is RoundKind.SINGLE
+
+
+def test_policy_clustered_range_of_fast_rtypes():
+    policy = RoundTypePolicy(fast_rtypes=frozenset(range(5)))
+    assert all(policy.kind(i) is RoundKind.FAST for i in range(5))
+    assert policy.kind(5) is RoundKind.SINGLE
+
+
+def test_kind_flags():
+    assert RoundKind.FAST.is_fast and not RoundKind.FAST.is_classic
+    assert RoundKind.MULTI.is_classic and not RoundKind.MULTI.is_fast
+    assert RoundKind.SINGLE.is_classic
+
+
+def test_schedule_single_round_quorum_is_owner():
+    schedule = RoundSchedule([0, 1, 2])
+    rnd = schedule.make_round(coord=1, count=1, rtype=1)
+    assert schedule.coord_quorums(rnd) == (frozenset({1}),)
+    assert schedule.coordinators_of(rnd) == frozenset({1})
+
+
+def test_schedule_multi_round_quorums_are_majorities():
+    schedule = RoundSchedule([0, 1, 2])
+    rnd = schedule.make_round(coord=0, count=1, rtype=2)
+    quorums = schedule.coord_quorums(rnd)
+    assert set(quorums) == {frozenset({0, 1}), frozenset({0, 2}), frozenset({1, 2})}
+    # Assumption 3: pairwise intersection.
+    for p in quorums:
+        for q in quorums:
+            assert p & q
+
+
+def test_schedule_fast_round_singleton_quorums():
+    schedule = RoundSchedule([0, 1, 2])
+    rnd = schedule.make_round(coord=0, count=1, rtype=0)
+    assert set(schedule.coord_quorums(rnd)) == {
+        frozenset({0}),
+        frozenset({1}),
+        frozenset({2}),
+    }
+    assert schedule.is_fast(rnd)
+
+
+def test_zero_round_has_no_coordinators_and_is_classic():
+    schedule = RoundSchedule([0, 1, 2])
+    assert schedule.coord_quorums(ZERO) == ()
+    assert schedule.coordinators_of(ZERO) == frozenset()
+    assert not schedule.is_fast(ZERO)
+
+
+def test_is_coord_quorum():
+    schedule = RoundSchedule([0, 1, 2])
+    rnd = schedule.make_round(coord=0, count=1, rtype=2)
+    assert schedule.is_coord_quorum(rnd, frozenset({0, 1}))
+    assert schedule.is_coord_quorum(rnd, frozenset({0, 1, 2}))
+    assert not schedule.is_coord_quorum(rnd, frozenset({2}))
+
+
+def test_next_round_increments_count():
+    schedule = RoundSchedule([0, 1, 2])
+    rnd = schedule.make_round(coord=1, count=3, rtype=2)
+    nxt = schedule.next_round(rnd)
+    assert nxt.count == 4 and nxt.coord == 1 and nxt > rnd
+
+
+def test_next_round_recovery_rtype():
+    schedule = RoundSchedule([0, 1, 2], recovery_rtype=1)
+    rnd = schedule.make_round(coord=0, count=1, rtype=2)
+    assert schedule.next_round(rnd).rtype == 1
+    assert schedule.next_round(rnd, rtype=0).rtype == 0
+
+
+def test_make_round_count_zero_reserved():
+    schedule = RoundSchedule([0])
+    with pytest.raises(ValueError):
+        schedule.make_round(coord=0, count=0, rtype=1)
+
+
+def test_single_round_unknown_owner_rejected():
+    schedule = RoundSchedule([0, 1])
+    with pytest.raises(ValueError):
+        schedule.coord_quorums(RoundId(0, 1, 9, 1))
+
+
+def test_empty_coordinators_rejected():
+    with pytest.raises(ValueError):
+        RoundSchedule([])
+
+
+def test_majorities_sizes():
+    assert majorities([0]) == (frozenset({0}),)
+    assert set(majorities([0, 1])) == {frozenset({0, 1})}
+    assert len(majorities([0, 1, 2, 3])) == 4  # C(4,3) minimal majorities
+    for quorum in majorities([0, 1, 2, 3]):
+        assert len(quorum) == 3
+
+
+def test_str_rendering():
+    assert "c0" in str(RoundId(0, 1, 0, 2))

@@ -1,0 +1,78 @@
+"""Event queue: ordering, cancellation, determinism."""
+
+import pytest
+
+from repro.sim.events import EventQueue
+
+
+def test_pop_returns_events_in_time_order():
+    queue = EventQueue()
+    fired = []
+    queue.push(3.0, lambda: fired.append("c"))
+    queue.push(1.0, lambda: fired.append("a"))
+    queue.push(2.0, lambda: fired.append("b"))
+    while (event := queue.pop()) is not None:
+        event.action()
+    assert fired == ["a", "b", "c"]
+
+
+def test_same_time_events_fire_in_scheduling_order():
+    queue = EventQueue()
+    fired = []
+    for name in "abcde":
+        queue.push(1.0, lambda n=name: fired.append(n))
+    while (event := queue.pop()) is not None:
+        event.action()
+    assert fired == list("abcde")
+
+
+def test_cancelled_events_are_skipped():
+    queue = EventQueue()
+    keep = queue.push(1.0, lambda: None)
+    cancel = queue.push(0.5, lambda: None)
+    cancel.cancel()
+    assert queue.pop() is keep
+    assert queue.pop() is None
+
+
+def test_len_ignores_cancelled_events():
+    queue = EventQueue()
+    queue.push(1.0, lambda: None)
+    event = queue.push(2.0, lambda: None)
+    assert len(queue) == 2
+    event.cancel()
+    assert len(queue) == 1
+
+
+def test_bool_reflects_pending_events():
+    queue = EventQueue()
+    assert not queue
+    event = queue.push(1.0, lambda: None)
+    assert queue
+    event.cancel()
+    assert not queue
+
+
+def test_peek_time_skips_cancelled():
+    queue = EventQueue()
+    first = queue.push(1.0, lambda: None)
+    queue.push(2.0, lambda: None)
+    assert queue.peek_time() == 1.0
+    first.cancel()
+    assert queue.peek_time() == 2.0
+
+
+def test_peek_time_empty_returns_none():
+    assert EventQueue().peek_time() is None
+
+
+def test_negative_time_rejected():
+    with pytest.raises(ValueError):
+        EventQueue().push(-1.0, lambda: None)
+
+
+def test_clear_drops_everything():
+    queue = EventQueue()
+    queue.push(1.0, lambda: None)
+    queue.clear()
+    assert queue.pop() is None

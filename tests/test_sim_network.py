@@ -1,0 +1,172 @@
+"""Network model: latency, jitter, loss, duplication, partitions."""
+
+from dataclasses import dataclass
+
+import pytest
+
+from repro.sim.network import NetworkConfig
+from repro.sim.process import Process
+from repro.sim.scheduler import Simulation
+
+
+@dataclass(frozen=True)
+class Ping:
+    payload: int = 0
+
+
+class Sink(Process):
+    def __init__(self, pid, sim):
+        super().__init__(pid, sim)
+        self.received = []
+
+    def on_ping(self, msg, src):
+        self.received.append((self.now, msg.payload))
+
+
+def test_unit_latency_delivery():
+    sim = Simulation(network=NetworkConfig(latency=1.0))
+    a = Sink("a", sim)
+    b = Sink("b", sim)
+    a.send("b", Ping(1))
+    sim.run()
+    assert b.received == [(1.0, 1)]
+
+
+def test_custom_latency():
+    sim = Simulation(network=NetworkConfig(latency=2.5))
+    a = Sink("a", sim)
+    b = Sink("b", sim)
+    a.send("b", Ping(1))
+    sim.run()
+    assert b.received == [(2.5, 1)]
+
+
+def test_self_send_is_instantaneous():
+    sim = Simulation(network=NetworkConfig(latency=5.0, drop_rate=0.9))
+    a = Sink("a", sim)
+    a.send("a", Ping(1))
+    sim.run()
+    assert a.received == [(0.0, 1)]
+
+
+def test_zero_jitter_preserves_send_order():
+    sim = Simulation(seed=1)
+    a = Sink("a", sim)
+    b = Sink("b", sim)
+    for i in range(10):
+        a.send("b", Ping(i))
+    sim.run()
+    assert [p for _, p in b.received] == list(range(10))
+
+
+def test_jitter_delays_within_bounds():
+    sim = Simulation(seed=3, network=NetworkConfig(latency=1.0, jitter=2.0))
+    a = Sink("a", sim)
+    b = Sink("b", sim)
+    for i in range(50):
+        a.send("b", Ping(i))
+    sim.run()
+    assert all(1.0 <= t <= 3.0 for t, _ in b.received)
+
+
+def test_jitter_can_invert_messages():
+    sim = Simulation(seed=3, network=NetworkConfig(latency=1.0, jitter=2.0))
+    a = Sink("a", sim)
+    b = Sink("b", sim)
+    for i in range(50):
+        a.send("b", Ping(i))
+    sim.run()
+    order = [p for _, p in b.received]
+    assert order != sorted(order)
+
+
+def test_drop_rate_loses_messages():
+    sim = Simulation(seed=5, network=NetworkConfig(drop_rate=0.5))
+    a = Sink("a", sim)
+    b = Sink("b", sim)
+    for i in range(200):
+        a.send("b", Ping(i))
+    sim.run()
+    assert 50 < len(b.received) < 150
+    assert sim.metrics.messages_dropped == 200 - len(b.received)
+
+
+def test_duplicate_rate_duplicates():
+    sim = Simulation(seed=5, network=NetworkConfig(duplicate_rate=1.0))
+    a = Sink("a", sim)
+    b = Sink("b", sim)
+    a.send("b", Ping(1))
+    sim.run()
+    assert len(b.received) == 2
+
+
+def test_partition_blocks_both_directions():
+    sim = Simulation()
+    a = Sink("a", sim)
+    b = Sink("b", sim)
+    sim.network.block("a", "b")
+    a.send("b", Ping(1))
+    b.send("a", Ping(2))
+    sim.run()
+    assert a.received == [] and b.received == []
+
+
+def test_unblock_heals_link():
+    sim = Simulation()
+    a = Sink("a", sim)
+    b = Sink("b", sim)
+    sim.network.block("a", "b")
+    sim.network.unblock("a", "b")
+    a.send("b", Ping(1))
+    sim.run()
+    assert len(b.received) == 1
+
+
+def test_group_partition_and_heal():
+    sim = Simulation()
+    nodes = [Sink(f"n{i}", sim) for i in range(4)]
+    sim.network.partition({"n0", "n1"}, {"n2", "n3"})
+    nodes[0].send("n2", Ping(1))
+    nodes[0].send("n1", Ping(2))
+    sim.run()
+    assert nodes[2].received == []
+    assert len(nodes[1].received) == 1
+    sim.network.heal()
+    nodes[0].send("n2", Ping(3))
+    sim.run()
+    assert len(nodes[2].received) == 1
+
+
+def test_delivery_to_dead_process_counts_as_drop():
+    sim = Simulation()
+    a = Sink("a", sim)
+    b = Sink("b", sim)
+    a.send("b", Ping(1))
+    b.crash()
+    sim.run()
+    assert sim.metrics.messages_dropped == 1
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        NetworkConfig(latency=0)
+    with pytest.raises(ValueError):
+        NetworkConfig(jitter=-1)
+    with pytest.raises(ValueError):
+        NetworkConfig(drop_rate=1.0)
+    with pytest.raises(ValueError):
+        NetworkConfig(duplicate_rate=2.0)
+
+
+def test_identical_seeds_give_identical_runs():
+    def run(seed):
+        sim = Simulation(seed=seed, network=NetworkConfig(jitter=1.0, drop_rate=0.2))
+        a = Sink("a", sim)
+        b = Sink("b", sim)
+        for i in range(50):
+            a.send("b", Ping(i))
+        sim.run()
+        return b.received
+
+    assert run(9) == run(9)
+    assert run(9) != run(10)

@@ -1,0 +1,62 @@
+"""Stable storage: durability semantics and write accounting."""
+
+from repro.sim.storage import StableStorage
+
+
+def test_write_then_read():
+    storage = StableStorage("a")
+    storage.write("k", 42)
+    assert storage.read("k") == 42
+
+
+def test_read_default():
+    assert StableStorage().read("missing", "fallback") == "fallback"
+
+
+def test_write_count_increments_per_write():
+    storage = StableStorage()
+    storage.write("a", 1)
+    storage.write("a", 2)
+    storage.write("b", 3)
+    assert storage.write_count == 3
+
+
+def test_write_many_is_one_disk_write():
+    storage = StableStorage()
+    storage.write_many({"vrnd": 1, "vval": "x"})
+    assert storage.write_count == 1
+    assert storage.read("vrnd") == 1
+    assert storage.read("vval") == "x"
+
+
+def test_per_key_write_counts():
+    storage = StableStorage()
+    storage.write("rnd", 1)
+    storage.write("rnd", 2)
+    storage.write_many({"vrnd": 1, "vval": "x"})
+    assert storage.write_counts["rnd"] == 2
+    assert storage.write_counts["vrnd"] == 1
+    assert storage.write_counts["vval"] == 1
+
+
+def test_contains_and_keys():
+    storage = StableStorage()
+    storage.write("a", 1)
+    assert "a" in storage
+    assert "b" not in storage
+    assert list(storage.keys()) == ["a"]
+
+
+def test_read_count_increments():
+    storage = StableStorage()
+    storage.read("a")
+    storage.read("b")
+    assert storage.read_count == 2
+
+
+def test_clear_erases_but_keeps_counters():
+    storage = StableStorage()
+    storage.write("a", 1)
+    storage.clear()
+    assert "a" not in storage
+    assert storage.write_count == 1

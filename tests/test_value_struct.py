@@ -1,0 +1,72 @@
+"""The consensus c-struct set (first command wins)."""
+
+import pytest
+
+from repro.cstruct.base import IncompatibleError
+from repro.cstruct.value import ValueStruct
+from tests.conftest import cmd
+
+A, B = cmd("a"), cmd("b")
+BOT = ValueStruct.bottom()
+
+
+def test_bottom_is_empty():
+    assert BOT.is_bottom()
+    assert BOT.command_set() == frozenset()
+
+
+def test_append_to_bottom_decides():
+    assert ValueStruct.bottom().append(A).value == A
+
+
+def test_append_to_decided_is_absorbed():
+    assert BOT.append(A).append(B).value == A
+
+
+def test_leq_bottom_below_everything():
+    assert BOT.leq(BOT)
+    assert BOT.leq(ValueStruct(A))
+    assert not ValueStruct(A).leq(BOT)
+
+
+def test_leq_reflexive_on_values():
+    assert ValueStruct(A).leq(ValueStruct(A))
+    assert not ValueStruct(A).leq(ValueStruct(B))
+
+
+def test_glb():
+    assert ValueStruct(A).glb(ValueStruct(A)) == ValueStruct(A)
+    assert ValueStruct(A).glb(ValueStruct(B)) == BOT
+    assert ValueStruct(A).glb(BOT) == BOT
+
+
+def test_lub_compatible():
+    assert BOT.lub(ValueStruct(A)) == ValueStruct(A)
+    assert ValueStruct(A).lub(BOT) == ValueStruct(A)
+    assert ValueStruct(A).lub(ValueStruct(A)) == ValueStruct(A)
+
+
+def test_lub_incompatible_raises():
+    with pytest.raises(IncompatibleError):
+        ValueStruct(A).lub(ValueStruct(B))
+
+
+def test_compatibility():
+    assert BOT.is_compatible(ValueStruct(A))
+    assert ValueStruct(A).is_compatible(ValueStruct(A))
+    assert not ValueStruct(A).is_compatible(ValueStruct(B))
+
+
+def test_contains():
+    assert ValueStruct(A).contains(A)
+    assert not ValueStruct(A).contains(B)
+    assert not BOT.contains(A)
+
+
+def test_extend_takes_first():
+    assert BOT.extend([A, B]).value == A
+
+
+def test_str():
+    assert str(BOT) == "⊥"
+    assert "a" in str(ValueStruct(A))
