@@ -1,0 +1,198 @@
+"""E9 -- batching + pipelining throughput, and hot-path scaling fixes.
+
+Two claims are measured here:
+
+1. The batched, pipelined multi-instance engine (this PR's tentpole) beats
+   the unbatched engine on commands delivered per simulation event at
+   equal command counts, and a pipeline depth > 1 recovers the makespan a
+   depth-1 pipeline loses under collision pressure.
+2. The event-queue and learner-delta hot paths now scale linearly where
+   the seed scaled quadratically: ``EventQueue.__len__`` is O(1) instead
+   of a full heap scan, and the generalized learner's redundant "2b"
+   handling does no conflict-relation work at all instead of the seed's
+   O(n^2) lattice recomputation per event.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from itertools import combinations
+from math import comb
+
+from benchmarks.conftest import run_experiment
+from repro.bench.experiments import experiment_e9
+from repro.core.generalized import build_generalized
+from repro.core.messages import Phase2b
+from repro.cstruct.base import glb_set
+from repro.cstruct.commands import Command, ConflictRelation, KeyConflict
+from repro.cstruct.history import CommandHistory
+from repro.sim.events import EventQueue
+from repro.sim.scheduler import Simulation
+
+
+def test_e9_batching_sweep(benchmark):
+    rows = run_experiment(
+        benchmark,
+        experiment_e9,
+        "E9: batch size x pipeline depth x collision pressure (jitter)",
+    )
+    assert all(row["unlearned"] == 0 for row in rows)
+    for jitter in sorted({row["jitter"] for row in rows}):
+        at = {row["engine"]: row for row in rows if row["jitter"] == jitter}
+        unbatched = at["unbatched"]
+        deep = at["batch 8 / depth 4"]
+        # Batching with pipeline depth > 1 beats the unbatched engine on
+        # commands per event (equal command counts, fewer events/messages).
+        assert deep["cmds / 100 events"] > 2 * unbatched["cmds / 100 events"]
+        assert deep["messages"] < unbatched["messages"] / 2
+    # Under collision pressure, pipelining (depth > 1) beats a serial
+    # depth-1 pipeline on makespan.
+    jittered = {row["engine"]: row for row in rows if row["jitter"] > 0}
+    assert jittered["batch 4 / depth 2"]["makespan"] < jittered["batch 4 / depth 1"]["makespan"]
+
+
+# ---------------------------------------------------------------------------
+# Micro-benchmark: EventQueue len/bool is O(1), not a heap scan
+# ---------------------------------------------------------------------------
+
+
+def _naive_len(queue: EventQueue) -> int:
+    """The seed's O(n) ``__len__``: scan every heap entry."""
+    return sum(1 for event in queue._heap if not event.cancelled)
+
+
+def _time_len_calls(n_events: int, use_naive: bool, calls: int = 300) -> float:
+    queue = EventQueue()
+    for i in range(n_events):
+        queue.push(float(i), lambda: None)
+    probe = _naive_len if use_naive else len
+    start = time.perf_counter()
+    for _ in range(calls):
+        probe(queue)
+    return time.perf_counter() - start
+
+
+def test_event_queue_len_scales_constant(benchmark):
+    def measure():
+        small, large = 1_000, 16_000
+        return {
+            "fixed": (_time_len_calls(small, False), _time_len_calls(large, False)),
+            "naive": (_time_len_calls(small, True), _time_len_calls(large, True)),
+        }
+
+    timings = benchmark.pedantic(measure, rounds=1, iterations=1)
+    fixed_small, fixed_large = timings["fixed"]
+    naive_small, naive_large = timings["naive"]
+    print(
+        f"\nlen(queue) cost, 1k -> 16k events: "
+        f"fixed {fixed_small * 1e6:.0f}us -> {fixed_large * 1e6:.0f}us, "
+        f"seed-style scan {naive_small * 1e6:.0f}us -> {naive_large * 1e6:.0f}us"
+    )
+    # 16x more events: the O(n) scan slows ~16x; the counter must not.
+    # Generous bounds keep the check robust on noisy CI machines.
+    assert fixed_large < fixed_small * 5
+    assert naive_large > naive_small * 4
+
+
+def test_event_queue_compaction_bounds_heap():
+    """Cancelled events are compacted away instead of accumulating."""
+    queue = EventQueue()
+    events = [queue.push(float(i), lambda: None) for i in range(10_000)]
+    for event in events[: 9_000]:
+        event.cancel()
+    assert len(queue) == 1_000
+    # The heap itself must have shed the cancelled majority (<= 2x live).
+    assert len(queue._heap) <= 2_000
+
+
+# ---------------------------------------------------------------------------
+# Micro-benchmark: learner redundant-2b handling does O(1) lattice work
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class _CountingConflict(ConflictRelation):
+    """Key conflict that counts invocations (the learner's unit of work)."""
+
+    inner: KeyConflict = field(default_factory=lambda: KeyConflict(frozenset({"get"})))
+    calls: list = field(default_factory=lambda: [0], compare=False, hash=False)
+
+    def conflicts(self, a: Command, b: Command) -> bool:
+        self.calls[0] += 1
+        return self.inner.conflicts(a, b)
+
+
+def _seed_style_redundant_learn(learned, votes, needed, limit=20):
+    """The seed learner's per-2b work, reproduced for comparison.
+
+    For every learn event -- including fully redundant ones -- the seed
+    enumerated quorum glbs over *all* reporting acceptors, ran
+    ``is_compatible`` + ``lub`` against the learned struct (both quadratic
+    in conflict checks), and recomputed ``command_set()`` differences and
+    ``delta_after`` snapshots.
+    """
+    senders = sorted(votes)
+    if comb(len(senders), needed) <= limit:
+        groups = list(combinations(senders, needed))
+    else:
+        groups = [tuple(sorted(senders)[:needed])]
+    new_learned = learned
+    for group in groups:
+        chosen = glb_set([votes[acc] for acc in group])
+        assert new_learned.is_compatible(chosen)
+        new_learned = new_learned.lub(chosen)
+    if new_learned == learned:
+        return ()
+    return new_learned.delta_after(learned)
+
+
+def _learner_with_history(n_commands: int, conflict):
+    sim = Simulation(seed=1)
+    cluster = build_generalized(
+        sim, bottom=CommandHistory.bottom(conflict), n_coordinators=3, n_acceptors=3
+    )
+    learner = cluster.learners[0]
+    rnd = cluster.config.schedule.make_round(0, 1, 2)
+    cmds = [Command(f"c{i}", "put", f"k{i}", i) for i in range(n_commands)]
+    history = CommandHistory.bottom(conflict).extend(cmds)
+    acceptors = [a.pid for a in cluster.acceptors]
+    for acc in acceptors:
+        learner.on_phase2b(Phase2b(rnd, history, acc), acc)
+    assert len(learner.learned.command_set()) == n_commands
+    return learner, rnd, history, acceptors
+
+
+def test_learner_redundant_2b_is_conflict_free():
+    """Redundant "2b" deliveries cost zero conflict checks (seed: O(n^2))."""
+    for n in (40, 80):
+        conflict = _CountingConflict()
+        learner, rnd, history, acceptors = _learner_with_history(n, conflict)
+        votes = {acc: history for acc in acceptors}
+
+        conflict.calls[0] = 0
+        for acc in acceptors:
+            learner.on_phase2b(Phase2b(rnd, history, acc), acc)
+        fixed_calls = conflict.calls[0]
+
+        conflict.calls[0] = 0
+        _seed_style_redundant_learn(learner.learned, votes, needed=2)
+        seed_calls = conflict.calls[0]
+
+        print(
+            f"\nredundant 2b at n={n}: frontier learner {fixed_calls} conflict "
+            f"checks, seed-style recompute {seed_calls}"
+        )
+        assert fixed_calls == 0
+        assert seed_calls > n  # superlinear lattice work per event
+
+    # And the seed-style work grows quadratically with history size.
+    measured = {}
+    for n in (40, 80):
+        conflict = _CountingConflict()
+        learner, rnd, history, acceptors = _learner_with_history(n, conflict)
+        votes = {acc: history for acc in acceptors}
+        conflict.calls[0] = 0
+        _seed_style_redundant_learn(learner.learned, votes, needed=2)
+        measured[n] = conflict.calls[0]
+    assert measured[80] > 3 * measured[40]

@@ -664,6 +664,87 @@ def experiment_e8(
     return rows
 
 
+# ---------------------------------------------------------------------------
+# E9 -- batching and pipelining throughput (Section 4.1's "heavy traffic")
+# ---------------------------------------------------------------------------
+
+
+def _e9_run(
+    label: str,
+    batching: "BatchingConfig | None",
+    jitter: float,
+    n_commands: int = 60,
+    seed: int = 7,
+) -> Row:
+    from repro.smr.instances import BatchingConfig, build_smr  # noqa: F401
+
+    sim = Simulation(seed=seed, network=NetworkConfig(jitter=jitter))
+    cluster = build_smr(
+        sim,
+        n_proposers=2,
+        n_coordinators=3,
+        n_acceptors=3,
+        liveness=LivenessConfig(),
+        batching=batching,
+    )
+    cluster.start_round(cluster.config.schedule.make_round(0, 1, 2))
+    workload = Workload.generate(
+        WorkloadConfig(
+            n_commands=n_commands,
+            arrival="burst",
+            burst_size=4,
+            period=2.0,
+            seed=seed,
+        )
+    )
+    workload.schedule_on(cluster)
+    delivered = cluster.run_until_delivered(workload.commands, timeout=30_000)
+    learn_times = [
+        t
+        for t in (sim.metrics.learn_time(c) for c in workload.commands)
+        if t is not None
+    ]
+    makespan = (max(learn_times) - workload.config.start) if learn_times else float("nan")
+    events = sim.events_processed
+    return {
+        "engine": label,
+        "jitter": jitter,
+        "makespan": makespan,
+        "events": events,
+        "messages": sim.metrics.total_messages,
+        "cmds / 100 events": 100.0 * n_commands / events,
+        "cmds / step": n_commands / makespan if makespan else float("nan"),
+        "collisions": sum(a.collisions_detected for a in cluster.acceptors),
+        "unlearned": 0 if delivered else len(workload.commands) - len(learn_times),
+    }
+
+
+def experiment_e9(
+    jitters: tuple[float, ...] = (0.0, 0.8), seed: int = 7
+) -> list[Row]:
+    """Throughput of the instance-per-command engine with batching/pipelining.
+
+    Sweeps batch size x pipeline depth x collision pressure (network jitter
+    makes concurrently proposed commands race for instances).  The batched,
+    pipelined engine must beat the unbatched engine on commands delivered
+    per simulation event -- the protocol does less work per command -- at
+    equal command counts.
+    """
+    from repro.smr.instances import BatchingConfig
+
+    grid: list[tuple[str, "BatchingConfig | None"]] = [
+        ("unbatched", None),
+        ("batch 4 / depth 1", BatchingConfig(max_batch=4, flush_interval=2.0, pipeline_depth=1)),
+        ("batch 4 / depth 2", BatchingConfig(max_batch=4, flush_interval=2.0, pipeline_depth=2)),
+        ("batch 8 / depth 4", BatchingConfig(max_batch=8, flush_interval=2.0, pipeline_depth=4)),
+    ]
+    rows: list[Row] = []
+    for jitter in jitters:
+        for label, batching in grid:
+            rows.append(_e9_run(label, batching, jitter, seed=seed))
+    return rows
+
+
 ALL_EXPERIMENTS: dict[str, Callable[[], list[Row]]] = {
     "E1 latency (steps)": experiment_e1,
     "E2 quorum sizes": experiment_e2,
@@ -674,4 +755,5 @@ ALL_EXPERIMENTS: dict[str, Callable[[], list[Row]]] = {
     "E6 disk writes": experiment_e6,
     "E7 recovery cost": experiment_e7,
     "E8 crossover": experiment_e8,
+    "E9 batching": experiment_e9,
 }

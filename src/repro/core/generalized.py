@@ -460,7 +460,17 @@ class GenAcceptor(Process):
 
 
 class GenLearner(Process):
-    """Learns ever-growing c-structs from quorums of "2b" messages."""
+    """Learns ever-growing c-structs from quorums of "2b" messages.
+
+    The learner keeps an *executed frontier*: the set of commands already
+    contained in ``learned`` (``_seen``) plus its size.  Every hot-path
+    decision -- can this vote grow the learned struct, which glb candidates
+    are worth a lub, which commands are new for the callbacks -- is a set
+    membership test against the frontier, instead of recomputing
+    ``command_set()`` differences and ``delta_after`` against a snapshot on
+    every learn event.  Redundant "2b" deliveries (quorum echoes,
+    duplicates, re-sends) short-circuit before any lattice operation runs.
+    """
 
     def __init__(self, pid: str, sim: Simulation, config: GeneralizedConfig) -> None:
         super().__init__(pid, sim)
@@ -468,38 +478,76 @@ class GenLearner(Process):
         self.learned: CStruct = config.bottom
         self._latest: dict[RoundId, dict[Hashable, CStruct]] = {}
         self._callbacks: list[Callable[[tuple[Command, ...], CStruct], None]] = []
+        # Executed frontier: exactly the commands of self.learned.
+        self._seen: set[Command] = set(config.bottom.command_set())
+        # Votes proven to contain no unseen command (vvals grow
+        # monotonically and are replaced wholesale, so object identity is a
+        # sound cache key; the frontier only grows, so the answer is stable).
+        self._exhausted_votes: dict[Hashable, CStruct] = {}
 
     def on_learn(self, callback: Callable[[tuple[Command, ...], CStruct], None]) -> None:
         """Register ``callback(new_commands, learned)`` for learn events."""
         self._callbacks.append(callback)
+
+    def _vote_exhausted(self, acceptor: Hashable, vote: CStruct) -> bool:
+        """True when every command of *vote* is already learned."""
+        if self._exhausted_votes.get(acceptor) is vote:
+            return True
+        if all(cmd in self._seen for cmd in vote.command_set()):
+            self._exhausted_votes[acceptor] = vote
+            return True
+        return False
 
     def on_phase2b(self, msg: Phase2b, src: Hashable) -> None:
         votes = self._latest.setdefault(msg.rnd, {})
         # An acceptor's vval grows monotonically within a round; a reordered
         # older "2b" must not regress the recorded vote.
         previous = votes.get(msg.acceptor)
-        if previous is None or previous.leq(msg.val):
+        if previous is None:
+            votes[msg.acceptor] = msg.val
+        elif previous is not msg.val and previous != msg.val and previous.leq(msg.val):
+            # Identity/equality fast paths keep duplicate deliveries off the
+            # quadratic ``leq`` check.
             votes[msg.acceptor] = msg.val
         needed = self.config.quorums.quorum_size(
             fast=self.config.schedule.is_fast(msg.rnd)
         )
         if len(votes) < needed:
             return
+        # A quorum glb is bounded above by each member's vote, so only
+        # quorums made entirely of votes with unseen commands can grow the
+        # learned struct; with fewer such votes than a quorum, nothing can.
+        # Deliberate tradeoff: skipped quorums also skip the is_compatible
+        # tripwire below, so an agreement violation confined to
+        # already-learned commands would not crash here -- the invariant
+        # oracles (repro.core.invariants) remain the authoritative check.
+        growers = {
+            acc for acc, vote in votes.items() if not self._vote_exhausted(acc, vote)
+        }
+        if len(growers) < needed:
+            return
         new_learned = self.learned
-        for chosen in self._chosen_candidates(votes, needed):
+        for chosen in self._chosen_candidates(votes, needed, growers):
+            if all(cmd in self._seen for cmd in chosen.command_set()):
+                continue  # the glb dropped every unseen command
             if not new_learned.is_compatible(chosen):
                 raise AssertionError(
                     f"learner {self.pid}: chosen value incompatible with learned "
                     f"({chosen} vs {new_learned})"
                 )
             new_learned = new_learned.lub(chosen)
-        if new_learned == self.learned:
+        if new_learned is self.learned:
             return
-        previous = self.learned
-        self.learned = new_learned
+        if (
+            len(new_learned.command_set()) == len(self._seen)
+            and new_learned == self.learned
+        ):
+            return
         fresh = tuple(
-            cmd for cmd in new_learned.command_set() - previous.command_set()
+            cmd for cmd in new_learned.linear_extension() if cmd not in self._seen
         )
+        self.learned = new_learned
+        self._seen.update(fresh)
         for cmd in fresh:
             self.metrics.record_learn(cmd, self.pid, self.now)
         if self.config.send_2b_to_coordinators and fresh:
@@ -507,24 +555,23 @@ class GenLearner(Process):
             self.broadcast(
                 self.config.topology.coordinators, Learned(fresh, self.pid)
             )
-        if isinstance(new_learned, type(previous)) and hasattr(new_learned, "delta_after"):
-            ordered = new_learned.delta_after(previous)  # type: ignore[attr-defined]
-        else:
-            ordered = fresh
         for callback in self._callbacks:
-            callback(tuple(ordered), new_learned)
+            callback(fresh, new_learned)
 
     def _chosen_candidates(
-        self, votes: dict[Hashable, CStruct], needed: int
+        self, votes: dict[Hashable, CStruct], needed: int, growers: set[Hashable]
     ) -> list[CStruct]:
         """Glbs over acceptor quorums among the reporting acceptors.
 
         Every glb over a full quorum is *chosen* (Definition 3), hence
-        learnable.  All quorums are enumerated when cheap; otherwise the
-        quorum of acceptors with the largest accepted c-structs is used
-        (sound -- any quorum works -- just possibly less eager).
+        learnable.  Only quorums drawn from *growers* (acceptors whose vote
+        contains an unseen command) are considered -- any other quorum's glb
+        is below an exhausted vote and cannot grow the learned struct.  All
+        such quorums are enumerated when cheap; otherwise the quorum of
+        acceptors with the largest accepted c-structs is used (sound -- any
+        quorum works -- just possibly less eager).
         """
-        senders = sorted(votes)
+        senders = sorted(growers)
         if comb(len(senders), needed) <= self.config.learner_enumeration_limit:
             groups = combinations(senders, needed)
         else:

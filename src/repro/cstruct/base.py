@@ -83,6 +83,17 @@ class CStruct:
         """The set of commands the c-struct is built from."""
         raise NotImplementedError
 
+    def linear_extension(self) -> tuple[Command, ...]:
+        """An execution order consistent with the c-struct's constraints.
+
+        Subclasses with an internal order (sequences, histories) must
+        override this to return it.  The default -- a deterministic sort --
+        is only sound for structs whose commands carry no mutual ordering
+        constraints (e.g. command sets); it exists so learners never fall
+        back to nondeterministic ``frozenset`` iteration order.
+        """
+        return tuple(sorted(self.command_set(), key=repr))
+
     def is_bottom(self) -> bool:
         """Whether this is the ⊥ element of its c-struct set."""
         return not self.command_set()

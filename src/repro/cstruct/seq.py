@@ -69,6 +69,10 @@ class CommandSequence(CStruct):
     def command_set(self) -> frozenset[Command]:
         return frozenset(self.cmds)
 
+    def linear_extension(self) -> tuple[Command, ...]:
+        """The sequence itself: its total order is the execution order."""
+        return self.cmds
+
     def __len__(self) -> int:
         return len(self.cmds)
 

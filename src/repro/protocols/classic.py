@@ -300,12 +300,17 @@ class ClassicLearner(Process):
         self.config = config
         self.decided: dict[int, Hashable] = {}
         self.delivered: list[Hashable] = []
+        self._delivered_set: set[Hashable] = set()
         self._next_delivery = 0
         self._votes: dict[tuple[int, int], dict[str, Hashable]] = {}
         self._callbacks: list[Callable[[int, Hashable], None]] = []
 
     def on_deliver(self, callback: Callable[[int, Hashable], None]) -> None:
         self._callbacks.append(callback)
+
+    def has_delivered(self, cmd: Hashable) -> bool:
+        """O(1) membership test on the delivered sequence."""
+        return cmd in self._delivered_set
 
     def on_c2b(self, msg: C2b, src: Hashable) -> None:
         votes = self._votes.setdefault((msg.instance, msg.rnd), {})
@@ -334,6 +339,7 @@ class ClassicLearner(Process):
             if value == NOOP:
                 continue
             self.delivered.append(value)
+            self._delivered_set.add(value)
             for callback in self._callbacks:
                 callback(instance, value)
 
@@ -363,7 +369,8 @@ class ClassicCluster:
     def everyone_delivered(self, cmds) -> bool:
         cmds = list(cmds)
         return all(
-            all(cmd in learner.delivered for cmd in cmds) for learner in self.learners
+            all(learner.has_delivered(cmd) for cmd in cmds)
+            for learner in self.learners
         )
 
     def run_until_delivered(self, cmds, timeout: float = 2_000.0) -> bool:

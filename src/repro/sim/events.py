@@ -4,6 +4,11 @@ Events are ordered by ``(time, sequence_number)``.  The sequence number is a
 monotonically increasing tie-breaker, so two events scheduled for the same
 virtual time fire in scheduling order.  This makes every simulation run a
 deterministic function of its seed.
+
+Cancelled events stay in the heap until popped or compacted; the queue
+keeps a live-event counter so ``len``/``bool`` are O(1), and rebuilds the
+heap (dropping cancelled entries) whenever cancelled events outnumber live
+ones, so long-running simulations with many cancelled timers stay compact.
 """
 
 from __future__ import annotations
@@ -11,6 +16,10 @@ from __future__ import annotations
 import heapq
 from dataclasses import dataclass, field
 from typing import Callable
+
+# Heaps smaller than this are never compacted: rebuilding a handful of
+# entries costs more than skipping them at pop time.
+_COMPACT_MIN_SIZE = 64
 
 
 @dataclass(order=True)
@@ -28,10 +37,15 @@ class Event:
     seq: int
     action: Callable[[], None] = field(compare=False)
     cancelled: bool = field(default=False, compare=False)
+    _queue: "EventQueue | None" = field(default=None, compare=False, repr=False)
 
     def cancel(self) -> None:
         """Mark the event so the queue skips it when popped."""
+        if self.cancelled:
+            return
         self.cancelled = True
+        if self._queue is not None:
+            self._queue._on_cancel(self)
 
 
 class EventQueue:
@@ -40,38 +54,64 @@ class EventQueue:
     def __init__(self) -> None:
         self._heap: list[Event] = []
         self._seq = 0
+        self._live = 0  # non-cancelled events currently in the heap
 
     def __len__(self) -> int:
-        return sum(1 for event in self._heap if not event.cancelled)
+        return self._live
 
     def __bool__(self) -> bool:
-        return any(not event.cancelled for event in self._heap)
+        return self._live > 0
 
     def push(self, time: float, action: Callable[[], None]) -> Event:
         """Schedule *action* at virtual time *time* and return its event."""
         if time < 0:
             raise ValueError(f"cannot schedule at negative time {time}")
-        event = Event(time=time, seq=self._seq, action=action)
+        event = Event(time=time, seq=self._seq, action=action, _queue=self)
         self._seq += 1
         heapq.heappush(self._heap, event)
+        self._live += 1
         return event
 
     def pop(self) -> Event | None:
         """Remove and return the earliest non-cancelled event, or ``None``."""
         while self._heap:
             event = heapq.heappop(self._heap)
+            event._queue = None
             if not event.cancelled:
+                self._live -= 1
                 return event
         return None
 
     def peek_time(self) -> float | None:
         """Return the fire time of the earliest pending event, or ``None``."""
         while self._heap and self._heap[0].cancelled:
-            heapq.heappop(self._heap)
+            heapq.heappop(self._heap)._queue = None
         if not self._heap:
             return None
         return self._heap[0].time
 
     def clear(self) -> None:
         """Drop all pending events."""
+        for event in self._heap:
+            event._queue = None
         self._heap.clear()
+        self._live = 0
+
+    # -- internal accounting ----------------------------------------------
+
+    def _on_cancel(self, event: Event) -> None:
+        """Called by :meth:`Event.cancel` for events still in the heap."""
+        self._live -= 1
+        if (
+            len(self._heap) >= _COMPACT_MIN_SIZE
+            and len(self._heap) > 2 * self._live
+        ):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Rebuild the heap without cancelled entries."""
+        for entry in self._heap:
+            if entry.cancelled:
+                entry._queue = None
+        self._heap = [entry for entry in self._heap if not entry.cancelled]
+        heapq.heapify(self._heap)

@@ -30,8 +30,11 @@ class NetworkConfig:
         latency: Base one-way delay of every link (one communication step).
         jitter: Upper bound of the uniform extra delay; 0 means messages
             between any pair of processes are spontaneously ordered.
-        drop_rate: Probability that a message is silently lost.
-        duplicate_rate: Probability that a message is delivered twice.
+        drop_rate: Probability that a message is silently lost, in
+            ``[0, 1]``; 1.0 models a fully lossy network (every non-local
+            message dropped, like a total partition).
+        duplicate_rate: Probability that a message is delivered twice, in
+            ``[0, 1]``; 1.0 duplicates every non-local message.
     """
 
     latency: float = 1.0
@@ -44,8 +47,8 @@ class NetworkConfig:
             raise ValueError("latency must be positive")
         if self.jitter < 0:
             raise ValueError("jitter must be non-negative")
-        if not 0.0 <= self.drop_rate < 1.0:
-            raise ValueError("drop_rate must be in [0, 1)")
+        if not 0.0 <= self.drop_rate <= 1.0:
+            raise ValueError("drop_rate must be in [0, 1]")
         if not 0.0 <= self.duplicate_rate <= 1.0:
             raise ValueError("duplicate_rate must be in [0, 1]")
 

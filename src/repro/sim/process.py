@@ -83,6 +83,11 @@ class Process:
         timer = Timer(event=None)
 
         def fire() -> None:
+            # One-shot: retire the handle so long-running processes that
+            # arm many timers (e.g. batch flush deadlines) don't accumulate
+            # fired Timer/Event/closure triples in _timers forever.
+            if timer in self._timers:
+                self._timers.remove(timer)
             if timer.cancelled or not self.alive:
                 return
             action()

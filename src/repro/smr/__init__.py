@@ -9,18 +9,25 @@ an agreed (partially or totally ordered) command structure.
   learners (one generalized instance) or by Classic Paxos learners (one
   consensus instance per command);
 * :mod:`repro.smr.client` -- clients issuing commands and tracking
-  completion.
+  completion;
+* :mod:`repro.smr.instances` -- the multicoordinated MultiPaxos engine
+  (one instance per command or per :class:`repro.smr.instances.Batch`)
+  with optional batching + pipelining.
 """
 
 from repro.smr.client import Client
+from repro.smr.instances import Batch, BatchingConfig, build_smr
 from repro.smr.machine import KVStore, StateMachine, kv_conflict
 from repro.smr.replica import BroadcastReplica, OrderedReplica
 
 __all__ = [
+    "Batch",
+    "BatchingConfig",
     "BroadcastReplica",
     "Client",
     "KVStore",
     "OrderedReplica",
     "StateMachine",
+    "build_smr",
     "kv_conflict",
 ]

@@ -28,6 +28,36 @@ path.  This module implements that substrate directly:
 Leader changes (round changes) re-run phase 1 for all instances; the new
 round's coordinators re-propose every value that may have been chosen and
 close gaps with no-ops, exactly as the Classic Paxos baseline does.
+
+Batching and pipelining
+-----------------------
+
+Passing a :class:`BatchingConfig` to :func:`build_smr` turns on the two
+classic Multi-Paxos throughput levers:
+
+* **Command batching** -- proposers pack client commands into a
+  :class:`Batch`, the opaque value decided by one consensus instance.  A
+  batch is flushed when it reaches ``max_batch`` commands (size trigger) or
+  ``flush_interval`` time units after its first command arrived (time
+  trigger), so a partial final batch always ships.  The buffer is
+  journalled to the proposer's stable storage: a proposer that crashes
+  with commands buffered re-ships them on recovery (buffered commands
+  are invisible to the coordinators' stuck detection, so nothing else
+  could re-drive them).  Coordinators,
+  acceptors and the collision machinery treat batches as ordinary values;
+  learners unpack them and deliver the contained commands in instance
+  order, then batch order, so replicas still apply one total order.
+* **Instance pipelining** -- each coordinator keeps at most
+  ``pipeline_depth`` self-assigned instances in flight (proposed but
+  undecided).  Further batches wait in the pending queue and are drained
+  as decisions arrive, bounding speculative instance growth under bursts
+  while keeping the pipe full.
+
+Knobs (:class:`BatchingConfig`): ``max_batch`` (commands per batch, size
+trigger), ``flush_interval`` (virtual-time flush deadline for partial
+batches), ``pipeline_depth`` (max in-flight instances per coordinator).
+With ``batching=None`` (the default) every command gets its own instance
+immediately and the pipeline is unbounded -- the pre-batching behaviour.
 """
 
 from __future__ import annotations
@@ -43,6 +73,44 @@ from repro.sim.process import Process
 from repro.sim.scheduler import Simulation
 
 NOOP = "__noop__"
+
+
+@dataclass(frozen=True)
+class Batch:
+    """An ordered pack of client commands decided by one instance."""
+
+    cmds: tuple[Hashable, ...]
+
+    def __len__(self) -> int:
+        return len(self.cmds)
+
+    def __iter__(self):
+        return iter(self.cmds)
+
+
+@dataclass
+class BatchingConfig:
+    """Batching/pipelining knobs (see the module docstring).
+
+    Attributes:
+        max_batch: Commands per batch; reaching it flushes immediately.
+        flush_interval: Virtual-time deadline after the first buffered
+            command at which a partial batch is flushed anyway.
+        pipeline_depth: Maximum self-assigned in-flight (undecided)
+            instances per coordinator.
+    """
+
+    max_batch: int = 8
+    flush_interval: float = 2.0
+    pipeline_depth: int = 4
+
+    def __post_init__(self) -> None:
+        if self.max_batch < 1:
+            raise ValueError("max_batch must be at least 1")
+        if self.flush_interval <= 0:
+            raise ValueError("flush_interval must be positive")
+        if self.pipeline_depth < 1:
+            raise ValueError("pipeline_depth must be at least 1")
 
 
 # -- messages -----------------------------------------------------------------
@@ -95,18 +163,57 @@ class InstancesConfig:
     quorums: QuorumSystem
     schedule: RoundSchedule
     liveness: LivenessConfig | None = None
+    batching: BatchingConfig | None = None
 
 
 class SMRProposer(Process):
-    """Proposes commands, optionally balancing load across quorums."""
+    """Proposes commands, optionally balancing load across quorums.
+
+    With batching enabled the proposer is the *batcher*: commands are
+    buffered and shipped as one :class:`Batch` value when the buffer
+    reaches ``max_batch`` or ``flush_interval`` after the first buffered
+    command (whichever comes first), amortizing the per-instance protocol
+    cost over many commands.
+    """
 
     def __init__(self, pid: str, sim: Simulation, config: InstancesConfig) -> None:
         super().__init__(pid, sim)
         self.config = config
         self.balance_load = False
+        self.batches_sent = 0
+        self._buffer: list[Hashable] = []
+        self._flush_timer = None
 
     def propose(self, cmd: Hashable) -> None:
         self.metrics.record_propose(cmd, self.now)
+        batching = self.config.batching
+        if batching is None:
+            self._forward(cmd)
+            return
+        self._buffer.append(cmd)
+        # Journal the buffer: unlike the unbatched engine, buffered commands
+        # have not reached any coordinator yet, so a proposer crash would
+        # otherwise lose them beyond the reach of the liveness machinery.
+        self.storage.write("batch_buffer", tuple(self._buffer))
+        if len(self._buffer) >= batching.max_batch:
+            self.flush()
+        elif self._flush_timer is None:
+            self._flush_timer = self.set_timer(batching.flush_interval, self.flush)
+
+    def flush(self) -> None:
+        """Ship the buffered commands as one batch (partial batches too)."""
+        if self._flush_timer is not None:
+            self._flush_timer.cancel()
+            self._flush_timer = None
+        if not self._buffer:
+            return
+        batch = Batch(tuple(self._buffer))
+        self._buffer.clear()
+        self.storage.write("batch_buffer", ())
+        self.batches_sent += 1
+        self._forward(batch)
+
+    def _forward(self, value: Hashable) -> None:
         coord_quorum = None
         acceptor_quorum = None
         if self.balance_load:
@@ -117,11 +224,21 @@ class SMRProposer(Process):
             acceptor_quorum = frozenset(
                 rng.sample(accs, self.config.quorums.classic_quorum_size)
             )
-        msg = IPropose(cmd, coord_quorum, acceptor_quorum)
+        msg = IPropose(value, coord_quorum, acceptor_quorum)
         # Every coordinator hears the proposal (the leader needs it for
         # stuck detection); only the chosen quorum forwards it, so the
         # per-command forwarding load stays balanced (Section 4.1).
         self.broadcast(self.config.topology.coordinators, msg)
+
+    def on_crash(self) -> None:
+        self._buffer = []
+        self._flush_timer = None
+
+    def on_recover(self) -> None:
+        buffered = self.storage.read("batch_buffer", ())
+        if buffered:
+            self._buffer = list(buffered)
+            self.flush()
 
 
 class SMRCoordinator(Process):
@@ -143,6 +260,12 @@ class SMRCoordinator(Process):
         self.reassignments = 0
         self._sent: dict[int, Hashable] = {}  # instance -> value last sent in 2a
         self._owners: dict[int, int] = {}  # instance -> lowest coord index seen
+        # Mirror sets for O(1) membership on the per-proposal hot paths
+        # (the dict .values() scans made proposal handling O(n^2) overall).
+        self._pending_cmds: set[Hashable] = set()  # {p.cmd for p in pending}
+        self._assigned_cmds: set[Hashable] = set()  # {p.cmd for p in assigned.values()}
+        self._sent_values: set[Hashable] = set()  # set(self._sent.values())
+        self._decided_values: set[Hashable] = set()  # set(self.decided.values())
         self._observed: dict[Hashable, float] = {}  # every proposed command
         self._served: set[Hashable] = set()  # commands seen decided
         self._hole_seen: dict[int, float] = {}  # undecided gaps, first seen
@@ -173,10 +296,16 @@ class SMRCoordinator(Process):
         self.phase1_done = False
         # In-flight commands of the previous round are re-driven here.
         for proposal in self.assigned.values():
-            if proposal.cmd not in self.decided.values():
+            if (
+                proposal.cmd not in self._decided_values
+                and proposal.cmd not in self._pending_cmds
+            ):
                 self.pending.append(proposal)
+                self._pending_cmds.add(proposal.cmd)
         self.assigned = {}
+        self._assigned_cmds = set()
         self._sent = {}
+        self._sent_values = set()
         self._owners = {}
         self.highest_seen = max(self.highest_seen, rnd)
 
@@ -266,14 +395,14 @@ class SMRCoordinator(Process):
             self._observed[msg.cmd] = self.now
         if msg.coord_quorum is not None and self.index not in msg.coord_quorum:
             return
-        known = (
-            [p.cmd for p in self.pending]
-            + [p.cmd for p in self.assigned.values()]
-            + list(self.decided.values())
-        )
-        if msg.cmd in known:
+        if (
+            msg.cmd in self._pending_cmds
+            or msg.cmd in self._assigned_cmds
+            or msg.cmd in self._decided_values
+        ):
             return
         self.pending.append(msg)
+        self._pending_cmds.add(msg.cmd)
         self._drain()
 
     def _drain(self) -> None:
@@ -281,12 +410,17 @@ class SMRCoordinator(Process):
             return
         if not self.config.schedule.is_coordinator_of(self.index, self.crnd):
             return
+        batching = self.config.batching
+        window = batching.pipeline_depth if batching is not None else None
         while self.pending:
+            if window is not None and len(self.assigned) >= window:
+                return  # pipeline full; refilled on the next decision
             proposal = self.pending.pop(0)
+            self._pending_cmds.discard(proposal.cmd)
             already_driving = (
-                proposal.cmd in self.decided.values()
-                or proposal.cmd in self._sent.values()
-                or any(p.cmd == proposal.cmd for p in self.assigned.values())
+                proposal.cmd in self._decided_values
+                or proposal.cmd in self._sent_values
+                or proposal.cmd in self._assigned_cmds
             )
             if already_driving:
                 continue
@@ -297,7 +431,9 @@ class SMRCoordinator(Process):
     def _send_2a(self, instance: int, value: Hashable, proposal: IPropose | None) -> None:
         if proposal is not None:
             self.assigned[instance] = proposal
+            self._assigned_cmds.add(proposal.cmd)
         self._sent[instance] = value
+        self._sent_values.add(value)
         self._owners.setdefault(instance, self.index)
         self.metrics.count_command_handled(self.pid)
         targets = self.config.topology.acceptors
@@ -340,12 +476,15 @@ class SMRCoordinator(Process):
         # Endorse: forward the same value so the coordinator quorum agrees.
         self._owners[instance] = min(self._owners.get(instance, msg.coord), msg.coord)
         self._sent[instance] = msg.val
+        self._sent_values.add(msg.val)
         self.broadcast(
             self.config.topology.acceptors,
             I2a(self.crnd, instance, msg.val, self.index),
         )
         # Drop the command from our queue if a peer is already driving it.
-        self.pending = [p for p in self.pending if p.cmd != msg.val]
+        if msg.val in self._pending_cmds:
+            self.pending = [p for p in self.pending if p.cmd != msg.val]
+            self._pending_cmds.discard(msg.val)
 
     # -- decision monitoring and instance-race reassignment (Section 4.2) --------------
 
@@ -359,16 +498,26 @@ class SMRCoordinator(Process):
             return
         if msg.instance not in self.decided:
             self.decided[msg.instance] = msg.val
+            self._decided_values.add(msg.val)
         self._served.add(msg.val)
         self._observed.pop(msg.val, None)
         self.next_instance = max(self.next_instance, msg.instance + 1)
         proposal = self.assigned.pop(msg.instance, None)
+        if proposal is not None:
+            self._assigned_cmds.discard(proposal.cmd)
         if proposal is not None and proposal.cmd != msg.val:
             # We lost the race for this instance; requeue our command.
             self.reassignments += 1
-            if proposal.cmd not in self.decided.values():
+            if (
+                proposal.cmd not in self._decided_values
+                and proposal.cmd not in self._pending_cmds
+            ):
                 self.pending.append(proposal)
+                self._pending_cmds.add(proposal.cmd)
                 self._drain()
+        if self.config.batching is not None:
+            # A decision freed pipeline capacity; refill the window.
+            self._drain()
 
     def on_inack(self, msg: INack, src: Hashable) -> None:
         self.highest_seen = max(self.highest_seen, msg.higher)
@@ -422,7 +571,9 @@ class SMRCoordinator(Process):
         # command, covering commands stuck at other coordinators.
         self.start_round(rnd)
         for cmd in aged:
-            self.pending.append(IPropose(cmd))
+            if cmd not in self._pending_cmds:
+                self.pending.append(IPropose(cmd))
+                self._pending_cmds.add(cmd)
 
     # -- crash-recovery -----------------------------------------------------------------
 
@@ -434,6 +585,10 @@ class SMRCoordinator(Process):
         self.decided = {}
         self._sent = {}
         self._owners = {}
+        self._pending_cmds = set()
+        self._assigned_cmds = set()
+        self._sent_values = set()
+        self._decided_values = set()
         self._observed = {}
         self._served = set()
         self._hole_seen = {}
@@ -530,19 +685,29 @@ class SMRAcceptor(Process):
 
 
 class SMRLearner(Process):
-    """Learns per-instance decisions; delivers them in instance order."""
+    """Learns per-instance decisions; delivers them in instance order.
+
+    Batched values are unpacked here: replicas observe individual commands
+    in instance order, then intra-batch order, so the delivered sequence is
+    the same total order whether or not batching is enabled upstream.
+    """
 
     def __init__(self, pid: str, sim: Simulation, config: InstancesConfig) -> None:
         super().__init__(pid, sim)
         self.config = config
         self.decided: dict[int, Hashable] = {}
         self.delivered: list[Hashable] = []
+        self._delivered_set: set[Hashable] = set()
         self._next_delivery = 0
         self._votes: dict[tuple[int, RoundId], dict[str, Hashable]] = {}
         self._callbacks: list[Callable[[int, Hashable], None]] = []
 
     def on_deliver(self, callback: Callable[[int, Hashable], None]) -> None:
         self._callbacks.append(callback)
+
+    def has_delivered(self, cmd: Hashable) -> bool:
+        """O(1) membership test on the delivered sequence."""
+        return cmd in self._delivered_set
 
     def on_i2b(self, msg: I2b, src: Hashable) -> None:
         votes = self._votes.setdefault((msg.instance, msg.rnd), {})
@@ -559,7 +724,10 @@ class SMRLearner(Process):
                 )
             return
         self.decided[msg.instance] = msg.val
-        if msg.val != NOOP:
+        if isinstance(msg.val, Batch):
+            for cmd in msg.val.cmds:
+                self.metrics.record_learn(cmd, self.pid, self.now)
+        elif msg.val != NOOP:
             self.metrics.record_learn(msg.val, self.pid, self.now)
         self._deliver_ready()
 
@@ -570,13 +738,16 @@ class SMRLearner(Process):
             self._next_delivery += 1
             if value == NOOP:
                 continue
-            if value in self.delivered:
-                # At-most-once delivery: assignment races may decide the
-                # same command in two instances; later copies are no-ops.
-                continue
-            self.delivered.append(value)
-            for callback in self._callbacks:
-                callback(instance, value)
+            cmds = value.cmds if isinstance(value, Batch) else (value,)
+            for cmd in cmds:
+                if cmd in self._delivered_set:
+                    # At-most-once delivery: assignment races may decide the
+                    # same command in two instances; later copies are no-ops.
+                    continue
+                self.delivered.append(cmd)
+                self._delivered_set.add(cmd)
+                for callback in self._callbacks:
+                    callback(instance, cmd)
 
 
 @dataclass
@@ -607,10 +778,16 @@ class SMRCluster:
         for proposer in self.proposers:
             proposer.balance_load = enabled
 
+    def flush(self) -> None:
+        """Force every proposer to ship its partial batch now."""
+        for proposer in self.proposers:
+            proposer.flush()
+
     def everyone_delivered(self, cmds) -> bool:
         cmds = list(cmds)
         return all(
-            all(cmd in learner.delivered for cmd in cmds) for learner in self.learners
+            all(learner.has_delivered(cmd) for cmd in cmds)
+            for learner in self.learners
         )
 
     def run_until_delivered(self, cmds, timeout: float = 5_000.0) -> bool:
@@ -627,6 +804,7 @@ def build_smr(
     schedule: RoundSchedule | None = None,
     liveness: LivenessConfig | None = None,
     f: int | None = None,
+    batching: BatchingConfig | None = None,
 ) -> SMRCluster:
     """Deploy a multicoordinated MultiPaxos replication group on *sim*."""
     topology = Topology.build(n_proposers, n_coordinators, n_acceptors, n_learners)
@@ -634,7 +812,11 @@ def build_smr(
     if schedule is None:
         schedule = RoundSchedule(range(n_coordinators), recovery_rtype=1)
     config = InstancesConfig(
-        topology=topology, quorums=quorums, schedule=schedule, liveness=liveness
+        topology=topology,
+        quorums=quorums,
+        schedule=schedule,
+        liveness=liveness,
+        batching=batching,
     )
     return SMRCluster(
         sim=sim,

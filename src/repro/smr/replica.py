@@ -21,13 +21,21 @@ from repro.smr.machine import StateMachine
 
 
 class BroadcastReplica:
-    """A replica fed by a generic-broadcast (generalized) learner."""
+    """A replica fed by a generic-broadcast (generalized) learner.
+
+    A command is executed at most once: duplicate deliveries (message
+    duplication, client resubmission, overlapping learn deltas) are dropped
+    and ``results`` keeps the result of the *first* execution, so a
+    resubmitted non-idempotent command cannot silently change its recorded
+    outcome.
+    """
 
     def __init__(self, learner, machine: StateMachine) -> None:
         self.learner = learner
         self.machine = machine
         self.executed: list[Command] = []
         self.results: dict[Command, object] = {}
+        self._executed_set: set[Command] = set()
         self._observers: list[Callable[[Command, object], None]] = []
         learner.on_learn(self._on_learn)
 
@@ -36,21 +44,31 @@ class BroadcastReplica:
 
     def _on_learn(self, new_cmds, learned) -> None:
         for cmd in new_cmds:
+            if cmd in self._executed_set:
+                continue
             result = self.machine.apply(cmd)
             self.executed.append(cmd)
+            self._executed_set.add(cmd)
             self.results[cmd] = result
             for observer in self._observers:
                 observer(cmd, result)
 
 
 class OrderedReplica:
-    """A replica fed by a Classic Paxos learner (instance order)."""
+    """A replica fed by a Classic Paxos learner (instance order).
+
+    Deduplicates like :class:`BroadcastReplica`: learners already deliver
+    each command once, but a command decided in two instances (assignment
+    races, resubmission) must still execute only once with its first result
+    preserved.
+    """
 
     def __init__(self, learner, machine: StateMachine) -> None:
         self.learner = learner
         self.machine = machine
         self.executed: list[Command] = []
         self.results: dict[Command, object] = {}
+        self._executed_set: set[Command] = set()
         self._observers: list[Callable[[Command, object], None]] = []
         learner.on_deliver(self._on_deliver)
 
@@ -58,8 +76,11 @@ class OrderedReplica:
         self._observers.append(observer)
 
     def _on_deliver(self, instance: int, cmd) -> None:
+        if cmd in self._executed_set:
+            return
         result = self.machine.apply(cmd)
         self.executed.append(cmd)
+        self._executed_set.add(cmd)
         self.results[cmd] = result
         for observer in self._observers:
             observer(cmd, result)

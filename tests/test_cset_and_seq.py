@@ -91,3 +91,17 @@ def test_seq_lub_incompatible_raises():
 def test_seq_len_and_str():
     assert len(CommandSequence.of(A, B)) == 2
     assert str(CommandSequence.bottom()) == "⊥"
+
+
+def test_sequence_linear_extension_is_its_order():
+    a, b, c = cmd("a"), cmd("b"), cmd("c")
+    seq = CommandSequence.of(c, a, b)
+    assert seq.linear_extension() == (c, a, b)
+
+
+def test_cset_linear_extension_is_deterministic():
+    a, b, c = cmd("a"), cmd("b"), cmd("c")
+    left = CommandSet.of(c, a, b).linear_extension()
+    right = CommandSet.of(b, c, a).linear_extension()
+    assert left == right  # sorted, not hash order
+    assert set(left) == {a, b, c}

@@ -251,3 +251,53 @@ def test_acceptor_writes_once_per_accept_batch():
     assert cluster.run_until_learned([A], timeout=100)
     for acceptor in cluster.acceptors:
         assert acceptor.storage.write_counts["vval"] >= 1
+
+
+# -- incremental learner frontier ----------------------------------------------
+
+
+def test_redundant_2b_deliveries_fire_no_callbacks():
+    """Duplicate/echoed "2b" messages must not refire learn events."""
+    from repro.core.messages import Phase2b
+
+    sim, cluster = deploy()
+    learner = cluster.learners[0]
+    events = []
+    learner.on_learn(lambda cmds, learned: events.append(cmds))
+    rnd = start(cluster, 2)
+    for i, command in enumerate([A, C]):
+        cluster.propose(command, delay=5.0 + 4 * i)
+    assert cluster.run_until_learned([A, C], timeout=500)
+    learned_before = learner.learned
+    events_before = list(events)
+    # Redeliver every acceptor's current vote (equal but distinct structs).
+    for acceptor in cluster.acceptors:
+        copy = CommandHistory(acceptor.vval.cmds, acceptor.vval.conflict)
+        learner.on_phase2b(Phase2b(rnd, copy, acceptor.pid), acceptor.pid)
+    assert events == events_before
+    assert learner.learned == learned_before
+
+
+def test_learner_grows_after_redundant_deliveries():
+    """The exhausted-vote cache must not block later genuine growth."""
+    from repro.core.messages import Phase2b
+
+    sim, cluster = deploy()
+    learner = cluster.learners[0]
+    rnd = start(cluster, 2)
+    cluster.propose(A, delay=5.0)
+    assert cluster.run_until_learned([A], timeout=500)
+    for acceptor in cluster.acceptors:
+        learner.on_phase2b(Phase2b(rnd, acceptor.vval, acceptor.pid), acceptor.pid)
+    cluster.propose(D, delay=1.0)
+    assert cluster.run_until_learned([A, D], timeout=500)
+    assert learner.learned.contains(D)
+
+
+def test_learner_handles_duplicated_network_messages():
+    sim, cluster = deploy(seed=4)
+    sim.network.config.duplicate_rate = 1.0  # every remote message twice
+    start(cluster, 2)
+    for i, command in enumerate([A, B, C, D]):
+        cluster.propose(command, delay=5.0 + 4 * i)
+    assert cluster.run_until_learned([A, B, C, D], timeout=2000)

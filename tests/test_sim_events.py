@@ -76,3 +76,70 @@ def test_clear_drops_everything():
     queue.push(1.0, lambda: None)
     queue.clear()
     assert queue.pop() is None
+    assert len(queue) == 0
+    assert not queue
+
+
+def test_len_constant_under_cancellation_churn():
+    """The live counter tracks push/cancel/pop exactly."""
+    queue = EventQueue()
+    events = [queue.push(float(i), lambda: None) for i in range(100)]
+    assert len(queue) == 100
+    for event in events[::2]:
+        event.cancel()
+    assert len(queue) == 50
+    # Double-cancel must not double-decrement.
+    events[0].cancel()
+    assert len(queue) == 50
+    popped = 0
+    while queue.pop() is not None:
+        popped += 1
+    assert popped == 50
+    assert len(queue) == 0 and not queue
+
+
+def test_cancel_after_pop_does_not_corrupt_count():
+    queue = EventQueue()
+    first = queue.push(1.0, lambda: None)
+    queue.push(2.0, lambda: None)
+    assert queue.pop() is first
+    first.cancel()  # e.g. a timer cancelled after it fired
+    assert len(queue) == 1
+    assert queue.pop() is not None
+    assert len(queue) == 0
+
+
+def test_compaction_removes_cancelled_events():
+    queue = EventQueue()
+    events = [queue.push(float(i), lambda: None) for i in range(256)]
+    for event in events[:200]:
+        event.cancel()
+    # Cancelled events exceeded half the heap: the heap was compacted and
+    # stays within a small constant factor of the live count.
+    assert len(queue) == 56
+    assert len(queue._heap) <= 2 * len(queue) + 1
+    # Compaction preserves ordering and the remaining events.
+    times = []
+    while (event := queue.pop()) is not None:
+        times.append(event.time)
+    assert times == [float(i) for i in range(200, 256)]
+
+
+def test_small_heaps_are_not_compacted():
+    queue = EventQueue()
+    events = [queue.push(float(i), lambda: None) for i in range(10)]
+    for event in events[:9]:
+        event.cancel()
+    assert len(queue) == 1
+    assert len(queue._heap) == 10  # below the compaction floor; popped lazily
+    assert queue.pop() is events[9]
+
+
+def test_cancel_after_clear_is_harmless():
+    queue = EventQueue()
+    event = queue.push(1.0, lambda: None)
+    queue.clear()
+    event.cancel()
+    assert len(queue) == 0
+    queue.push(2.0, lambda: None)
+    assert len(queue) == 1

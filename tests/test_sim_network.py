@@ -153,9 +153,32 @@ def test_config_validation():
     with pytest.raises(ValueError):
         NetworkConfig(jitter=-1)
     with pytest.raises(ValueError):
-        NetworkConfig(drop_rate=1.0)
+        NetworkConfig(drop_rate=-0.1)
+    with pytest.raises(ValueError):
+        NetworkConfig(drop_rate=1.1)
+    with pytest.raises(ValueError):
+        NetworkConfig(duplicate_rate=-0.1)
     with pytest.raises(ValueError):
         NetworkConfig(duplicate_rate=2.0)
+
+
+def test_rate_ranges_are_consistent():
+    """Both rates accept the full closed interval [0, 1] (documented)."""
+    assert NetworkConfig(drop_rate=1.0).drop_rate == 1.0
+    assert NetworkConfig(duplicate_rate=1.0).duplicate_rate == 1.0
+    assert NetworkConfig(drop_rate=0.0, duplicate_rate=0.0) is not None
+
+
+def test_full_drop_rate_loses_every_remote_message():
+    sim = Simulation(seed=1, network=NetworkConfig(drop_rate=1.0))
+    a = Sink("a", sim)
+    b = Sink("b", sim)
+    a.send("b", Ping(1))  # dropped
+    a.send("a", Ping(2))  # self-delivery is reliable
+    sim.run(until=10)
+    assert b.received == []
+    assert a.received == [(0.0, 2)]
+    assert sim.metrics.messages_dropped == 1
 
 
 def test_identical_seeds_give_identical_runs():

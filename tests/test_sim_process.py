@@ -149,3 +149,18 @@ def test_storage_survives_crash():
     a.crash()
     a.recover()
     assert a.storage.read("vrnd") == 3
+
+
+def test_fired_one_shot_timers_are_retired():
+    """Fired timers must not accumulate in the process timer list."""
+    sim = Simulation()
+    proc = Echo("p", sim)
+    for i in range(10):
+        proc.set_timer(float(i + 1), lambda: None)
+    assert len(proc._timers) == 10
+    sim.run()
+    assert proc._timers == []
+    # A periodic timer stays registered until cancelled.
+    periodic = proc.set_periodic_timer(1.0, lambda: None)
+    sim.run(until=sim.clock + 5)
+    assert periodic in proc._timers

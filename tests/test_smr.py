@@ -163,3 +163,64 @@ def test_client_incomplete_latency_is_none():
     client = Client("c1", service.cluster)
     command = cmd("42", "put", "k", 1)
     assert client.latency(command) is None
+
+
+# -- duplicate-delivery deduplication ---------------------------------------------------
+
+
+class FakeBroadcastLearner:
+    """Minimal learner double: lets tests fire learn events directly."""
+
+    def __init__(self):
+        self.callbacks = []
+
+    def on_learn(self, callback):
+        self.callbacks.append(callback)
+
+    def learn(self, *cmds):
+        for callback in self.callbacks:
+            callback(tuple(cmds), None)
+
+
+class FakeOrderedLearner:
+    def __init__(self):
+        self.callbacks = []
+
+    def on_deliver(self, callback):
+        self.callbacks.append(callback)
+
+    def deliver(self, instance, command):
+        for callback in self.callbacks:
+            callback(instance, command)
+
+
+def test_broadcast_replica_executes_duplicates_once():
+    replica = BroadcastReplica(FakeBroadcastLearner(), KVStore())
+    command = cmd("1", "inc", "x")  # non-idempotent: re-execution would show
+    replica.learner.learn(command)
+    replica.learner.learn(command)  # duplicate learn event (resubmission)
+    replica.learner.learn(command, command)  # duplicate within one delta
+    assert replica.executed == [command]
+    assert replica.machine.get("x") == 1
+
+
+def test_broadcast_replica_preserves_first_result():
+    replica = BroadcastReplica(FakeBroadcastLearner(), KVStore())
+    command = cmd("1", "inc", "x")
+    observed = []
+    replica.on_execute(lambda c, result: observed.append(result))
+    replica.learner.learn(command)
+    assert replica.results[command] == 1
+    replica.learner.learn(command)  # would return 2 if re-executed
+    assert replica.results[command] == 1  # first-execution result kept
+    assert observed == [1]  # observers fire once per unique command
+
+
+def test_ordered_replica_executes_duplicates_once():
+    replica = OrderedReplica(FakeOrderedLearner(), KVStore())
+    command = cmd("1", "inc", "x")
+    replica.learner.deliver(0, command)
+    replica.learner.deliver(3, command)  # same command decided in two instances
+    assert replica.executed == [command]
+    assert replica.results[command] == 1
+    assert replica.machine.get("x") == 1
