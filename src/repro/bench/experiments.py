@@ -745,6 +745,113 @@ def experiment_e9(
     return rows
 
 
+# ---------------------------------------------------------------------------
+# E10 -- liveness under message loss (Section 2.1.1's fair-lossy model)
+# ---------------------------------------------------------------------------
+
+
+def _e10_run(
+    label: str,
+    drop_rate: float,
+    batching: "BatchingConfig | None",
+    retransmit: "RetransmitConfig | None",
+    n_commands: int = 48,
+    seed: int = 11,
+    timeout: float = 20_000.0,
+) -> Row:
+    from repro.smr.instances import build_smr
+    from repro.smr.machine import KVStore
+    from repro.smr.replica import OrderedReplica
+
+    sim = Simulation(
+        seed=seed,
+        network=NetworkConfig(drop_rate=drop_rate),
+        max_events=4_000_000,
+    )
+    cluster = build_smr(
+        sim,
+        n_proposers=2,
+        n_coordinators=3,
+        n_acceptors=3,
+        n_learners=2,
+        liveness=LivenessConfig(),
+        batching=batching,
+        retransmit=retransmit,
+    )
+    cluster.start_round(cluster.config.schedule.make_round(0, 1, 2))
+    replicas = [OrderedReplica(learner, KVStore()) for learner in cluster.learners]
+    workload = Workload.generate(
+        WorkloadConfig(
+            n_commands=n_commands,
+            arrival="burst",
+            burst_size=4,
+            period=3.0,
+            seed=seed,
+        )
+    )
+    workload.schedule_on(cluster)
+    all_delivered = cluster.run_until_delivered(workload.commands, timeout=timeout)
+    undelivered = sum(
+        1
+        for c in workload.commands
+        if not all(learner.has_delivered(c) for learner in cluster.learners)
+    )
+    stats = cluster.retransmission_stats()
+    learn_times = [
+        t
+        for t in (sim.metrics.learn_time(c) for c in workload.commands)
+        if t is not None
+    ]
+    return {
+        "engine": label,
+        "drop rate": drop_rate,
+        "delivered %": 100.0 * (n_commands - undelivered) / n_commands,
+        "orders agree": len({r.order_signature() for r in replicas}) == 1,
+        "makespan": (max(learn_times) - workload.config.start)
+        if all_delivered
+        else float("inf"),
+        "msgs / cmd": sim.metrics.total_messages / n_commands,
+        "retransmissions": stats["retransmissions"],
+        "catch-ups": stats["catchup_requests"],
+        "gossip": stats["gossip_rounds"],
+    }
+
+
+def experiment_e10(
+    drop_rates: tuple[float, ...] = (0.0, 0.1, 0.3, 0.5), seed: int = 11
+) -> list[Row]:
+    """Delivery under a fair-lossy network, with and without retransmission.
+
+    A 48-command bursty workload is pushed through the multi-instance
+    engine at increasing drop rates.  The seed engine (no retransmission)
+    strands commands as soon as an ``IPropose`` can be lost on every link;
+    the reliability layer (proposer retransmission + coordinator gossip +
+    learner catch-up) must deliver 100% at every drop rate < 1 with all
+    replicas applying the same total order, at a bounded messages-per-
+    command overhead versus the loss-free baseline.
+    """
+    from repro.smr.instances import BatchingConfig, RetransmitConfig
+
+    rows: list[Row] = []
+    for drop_rate in drop_rates:
+        rows.append(
+            _e10_run("seed (no retransmit)", drop_rate, None, None, seed=seed)
+        )
+        rows.append(
+            _e10_run("reliable", drop_rate, None, RetransmitConfig(), seed=seed)
+        )
+        rows.append(
+            _e10_run(
+                "reliable + batch 8/4",
+                drop_rate,
+                BatchingConfig(max_batch=8, flush_interval=2.0, pipeline_depth=4),
+                RetransmitConfig(),
+                seed=seed,
+            )
+        )
+    return rows
+
+
 ALL_EXPERIMENTS: dict[str, Callable[[], list[Row]]] = {
     "E1 latency (steps)": experiment_e1,
     "E2 quorum sizes": experiment_e2,
@@ -756,4 +863,5 @@ ALL_EXPERIMENTS: dict[str, Callable[[], list[Row]]] = {
     "E7 recovery cost": experiment_e7,
     "E8 crossover": experiment_e8,
     "E9 batching": experiment_e9,
+    "E10 loss liveness": experiment_e10,
 }

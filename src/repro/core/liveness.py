@@ -44,6 +44,21 @@ class LivenessConfig:
     stuck_timeout: float = 12.0
     recovery_rtype: int = 1
 
+    def __post_init__(self) -> None:
+        # Mirror NetworkConfig's range checks: a zero or negative period
+        # schedules a busy loop, and a suspect timeout at or below the
+        # heartbeat period suspects every live peer permanently.
+        if self.heartbeat_period <= 0:
+            raise ValueError("heartbeat_period must be positive")
+        if self.check_period <= 0:
+            raise ValueError("check_period must be positive")
+        if self.stuck_timeout <= 0:
+            raise ValueError("stuck_timeout must be positive")
+        if self.suspect_timeout <= self.heartbeat_period:
+            raise ValueError("suspect_timeout must exceed heartbeat_period")
+        if self.recovery_rtype not in (0, 1, 2):
+            raise ValueError("recovery_rtype must be 0 (fast), 1 or 2")
+
 
 class FailureDetector:
     """Tracks peer heartbeats for one coordinator process."""

@@ -16,10 +16,12 @@ and is never dropped, modelling a process handing a message to itself.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Any, Hashable
+from typing import TYPE_CHECKING, Any, Callable, Hashable
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.sim.scheduler import Simulation
+
+DropFilter = Callable[[Hashable, Hashable, Any], bool]
 
 
 @dataclass
@@ -60,6 +62,28 @@ class Network:
         self._sim = sim
         self.config = config or NetworkConfig()
         self._blocked: set[tuple[Hashable, Hashable]] = set()
+        self._drop_filters: list[DropFilter] = []
+
+    # -- targeted loss (deterministic fault injection) --------------------
+
+    def add_drop_filter(self, filter_fn: DropFilter) -> DropFilter:
+        """Drop every non-local message for which *filter_fn* returns True.
+
+        ``filter_fn(src, dst, msg)`` runs before the random loss model and
+        consumes no RNG itself, so with random loss/jitter/duplication
+        disabled a filter injects targeted, deterministic loss (e.g. "drop
+        all I2b to learner 1") without perturbing the seeded schedule of
+        everything else.  (With ``drop_rate``/``jitter``/``duplicate_rate``
+        active, a filtered message skips the draws it would have consumed,
+        so later random decisions shift.)  Returns the filter for removal.
+        """
+        self._drop_filters.append(filter_fn)
+        return filter_fn
+
+    def remove_drop_filter(self, filter_fn: DropFilter) -> None:
+        """Stop applying *filter_fn* (no-op if already removed)."""
+        if filter_fn in self._drop_filters:
+            self._drop_filters.remove(filter_fn)
 
     # -- partitions ------------------------------------------------------
 
@@ -97,6 +121,9 @@ class Network:
             self._schedule_delivery(src, dst, msg, delay=0.0)
             return
         if self.is_blocked(src, dst):
+            metrics.on_drop()
+            return
+        if any(filter_fn(src, dst, msg) for filter_fn in self._drop_filters):
             metrics.on_drop()
             return
         rng = self._sim.rng

@@ -111,6 +111,17 @@ class Process:
         self._timers.append(timer)
         return timer
 
+    def drop_timer(self, timer: Timer) -> None:
+        """Cancel *timer* and release its handle immediately.
+
+        Use for timers retired on an external signal (e.g. a retransmission
+        timer cancelled by an ack): unlike a bare ``cancel()``, the handle
+        does not linger in ``_timers`` until the next crash.
+        """
+        timer.cancel()
+        if timer in self._timers:
+            self._timers.remove(timer)
+
     def _cancel_timers(self) -> None:
         for timer in self._timers:
             timer.cancel()

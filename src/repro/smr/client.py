@@ -15,13 +15,31 @@ from repro.cstruct.commands import Command
 
 @dataclass
 class Client:
-    """A closed-loop or open-loop command issuer."""
+    """A closed-loop or open-loop command issuer.
+
+    With ``retry_interval`` set the client resubmits a command that has
+    not completed within that span, doubling the wait each attempt (at
+    most ``max_retries`` resubmissions).  Resubmission is safe end to end:
+    coordinators deduplicate in-flight proposals, and replicas execute a
+    command at most once even if it is decided in two instances.  It is
+    the client-side backstop of the engine's own retransmission layer --
+    useful when proposers may crash and lose even their stable storage.
+    """
 
     name: str
     cluster: object  # any cluster exposing .propose(cmd, delay=...)
+    retry_interval: float | None = None
+    max_retries: int = 8
     issued: list[Command] = field(default_factory=list)
     completed: dict[Command, float] = field(default_factory=dict)
     issue_times: dict[Command, float] = field(default_factory=dict)
+    retries: dict[Command, int] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.retry_interval is not None and self.retry_interval <= 0:
+            raise ValueError("retry_interval must be positive")
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be non-negative")
 
     def issue(self, cmd: Command, delay: float = 0.0) -> Command:
         """Propose *cmd* after *delay* simulated time units."""
@@ -32,9 +50,22 @@ class Client:
             self.issue_times[cmd] = sim.clock
             # Route through the cluster's proposer rotation.
             self.cluster.propose(cmd)
+            if self.retry_interval is not None:
+                sim.schedule(self.retry_interval, lambda: self._watchdog(cmd))
 
         sim.schedule(delay, fire)
         return cmd
+
+    def _watchdog(self, cmd: Command) -> None:
+        if cmd in self.completed:
+            return
+        attempts = self.retries.get(cmd, 0)
+        if attempts >= self.max_retries:
+            return
+        self.retries[cmd] = attempts + 1
+        self.cluster.propose(cmd)
+        backoff = self.retry_interval * (2 ** (attempts + 1))
+        self.cluster.sim.schedule(backoff, lambda: self._watchdog(cmd))
 
     def watch_replica(self, replica) -> None:
         """Record completion when *replica* executes one of our commands."""

@@ -58,11 +58,54 @@ trigger), ``flush_interval`` (virtual-time flush deadline for partial
 batches), ``pipeline_depth`` (max in-flight instances per coordinator).
 With ``batching=None`` (the default) every command gets its own instance
 immediately and the pipeline is unbounded -- the pre-batching behaviour.
+
+Reliability under message loss
+------------------------------
+
+The paper's model is fair-lossy links plus retransmission: a message sent
+infinitely often is delivered infinitely often, so every protocol message
+must have a re-driver.  Passing a :class:`RetransmitConfig` to
+:func:`build_smr` closes every end-to-end path:
+
+* **Proposer retransmission** -- every value shipped (a command or a
+  :class:`Batch`) stays in an *unacked* buffer, journalled to stable
+  storage, and is re-broadcast as a fresh ``IPropose`` on an exponential
+  backoff timer.  Learners confirm delivery with ``IAck``; a value is
+  retired only when *every* learner has acked it, so retransmission also
+  drives stragglers.  Crash-recovery re-ships the journalled buffer.
+* **Decision re-announcement** -- a coordinator receiving a retransmitted
+  ``IPropose`` for an already-decided value re-broadcasts the decision
+  (``IDecided``) to the learners instead of re-driving consensus; learners
+  re-ack duplicates, so the retry loop terminates once every link has let
+  one copy through.
+* **Coordinator gossip** -- coordinators periodically exchange their
+  observed-but-unserved command sets and undecided holes (``IGossip``).  A
+  command stranded at a non-leader coordinator reaches the leader's stuck
+  detection; a hole known decided by a peer is answered with ``IDecided``.
+  The same tick re-broadcasts the coordinator's undecided phase "2a"
+  assignments (same value, same round -- safe) so a 2a or peer-endorsement
+  lost on some link is eventually re-offered.
+* **Learner catch-up** -- each learner tracks its contiguous delivery
+  frontier; gaps below the highest decided instance are re-requested
+  (``ICatchUp``) from the acceptors, which answer from their journalled
+  votes with a fresh ``I2b``, and from peer learners, which answer known
+  decisions directly with ``IDecided``.
+* **Crash-recovery hardening** -- a coordinator journals its observed
+  command set; recovery reloads it, so proposals seen only by a crashed
+  coordinator are re-driven instead of silently lost.
+
+Knobs (:class:`RetransmitConfig`): ``retry_interval``/``backoff``/
+``max_interval`` (proposer backoff schedule), ``gossip_interval``
+(coordinator gossip + 2a re-announce period), ``catchup_interval``
+(learner gap-poll period), ``max_resend`` (per-message payload bound).
+With ``retransmit=None`` (the default) the engine behaves exactly as
+before: live on reliable networks, reliant on round changes under loss.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from itertools import islice
 from typing import Callable, Hashable
 
 from repro.core.liveness import FailureDetector, Heartbeat, LivenessConfig
@@ -73,6 +116,15 @@ from repro.sim.process import Process
 from repro.sim.scheduler import Simulation
 
 NOOP = "__noop__"
+
+
+def _check_consistent(instance: int, existing: Hashable, val: Hashable) -> None:
+    """Safety oracle: one instance must never yield two decisions."""
+    if existing != val:
+        raise AssertionError(
+            f"consistency violation in instance {instance}: "
+            f"{existing!r} vs {val!r}"
+        )
 
 
 @dataclass(frozen=True)
@@ -113,6 +165,44 @@ class BatchingConfig:
             raise ValueError("pipeline_depth must be at least 1")
 
 
+@dataclass
+class RetransmitConfig:
+    """Reliability-layer knobs (see the module docstring).
+
+    Attributes:
+        retry_interval: Delay before a proposer's first retransmission of
+            an unacked value.
+        backoff: Multiplier applied to the retry delay after each attempt.
+        max_interval: Cap on the (backed-off) retry delay.
+        gossip_interval: Period of the coordinators' gossip / 2a
+            re-announce tick.
+        catchup_interval: Period of the learners' gap-detection poll.
+        max_resend: Upper bound on instances/commands carried by one
+            gossip, catch-up or re-announce burst (payload bound).
+    """
+
+    retry_interval: float = 6.0
+    backoff: float = 2.0
+    max_interval: float = 48.0
+    gossip_interval: float = 8.0
+    catchup_interval: float = 6.0
+    max_resend: int = 64
+
+    def __post_init__(self) -> None:
+        if self.retry_interval <= 0:
+            raise ValueError("retry_interval must be positive")
+        if self.backoff < 1.0:
+            raise ValueError("backoff must be at least 1")
+        if self.max_interval < self.retry_interval:
+            raise ValueError("max_interval must be at least retry_interval")
+        if self.gossip_interval <= 0:
+            raise ValueError("gossip_interval must be positive")
+        if self.catchup_interval <= 0:
+            raise ValueError("catchup_interval must be positive")
+        if self.max_resend < 1:
+            raise ValueError("max_resend must be at least 1")
+
+
 # -- messages -----------------------------------------------------------------
 
 
@@ -141,6 +231,11 @@ class I2a:
     instance: int
     val: Hashable
     coord: int
+    # True only for the reliability tick's periodic re-offer of an
+    # undecided assignment: receivers answer with their journalled
+    # vote/decision instead of staying silent, without that echo chatter
+    # being paid by ordinary (first-time, possibly late) 2as.
+    reannounce: bool = False
 
 
 @dataclass(frozen=True)
@@ -157,6 +252,42 @@ class INack:
     higher: RoundId
 
 
+@dataclass(frozen=True)
+class IAck:
+    """Learner -> proposers: *value* was decided (delivery confirmed)."""
+
+    value: Hashable
+
+
+@dataclass(frozen=True)
+class IDecided:
+    """Decision re-announcement: *instance* was chosen with *val*.
+
+    Sent by coordinators (answering retransmitted proposals of decided
+    values, and gossip-reported holes) and by learners (answering peer
+    catch-up requests).  Safe to trust: the sender observed a classic
+    acceptor quorum vote for *val*, the same evidence a learner uses.
+    """
+
+    instance: int
+    val: Hashable
+
+
+@dataclass(frozen=True)
+class IGossip:
+    """Coordinator gossip: observed-but-unserved commands and holes."""
+
+    observed: tuple[Hashable, ...]
+    holes: tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class ICatchUp:
+    """Learner -> acceptors/peers: re-send evidence for *instances*."""
+
+    instances: tuple[int, ...]
+
+
 @dataclass
 class InstancesConfig:
     topology: Topology
@@ -164,6 +295,17 @@ class InstancesConfig:
     schedule: RoundSchedule
     liveness: LivenessConfig | None = None
     batching: BatchingConfig | None = None
+    retransmit: RetransmitConfig | None = None
+
+
+@dataclass
+class _RetryState:
+    """Per-value retransmission bookkeeping at a proposer."""
+
+    timer: object
+    interval: float
+    acked: set = field(default_factory=set)
+    attempts: int = 0
 
 
 class SMRProposer(Process):
@@ -174,6 +316,11 @@ class SMRProposer(Process):
     reaches ``max_batch`` or ``flush_interval`` after the first buffered
     command (whichever comes first), amortizing the per-instance protocol
     cost over many commands.
+
+    With retransmission enabled every shipped value is journalled and
+    re-broadcast on a backoff timer until *every* learner has acked it
+    (see the module docstring), making the propose path live on any
+    fair-lossy network.
     """
 
     def __init__(self, pid: str, sim: Simulation, config: InstancesConfig) -> None:
@@ -181,14 +328,22 @@ class SMRProposer(Process):
         self.config = config
         self.balance_load = False
         self.batches_sent = 0
+        self.retransmissions = 0
         self._buffer: list[Hashable] = []
         self._flush_timer = None
+        self._unacked: dict[Hashable, _RetryState] = {}
 
     def propose(self, cmd: Hashable) -> None:
+        if not self.alive:
+            # A crashed proposer accepts nothing -- the command is a lost
+            # client message, not a half-registered unacked value (which
+            # would journal a retry whose timer never re-arms).  Client
+            # resubmission or proposer rotation is the re-driver here.
+            return
         self.metrics.record_propose(cmd, self.now)
         batching = self.config.batching
         if batching is None:
-            self._forward(cmd)
+            self._ship(cmd)
             return
         self._buffer.append(cmd)
         # Journal the buffer: unlike the unbatched engine, buffered commands
@@ -211,7 +366,54 @@ class SMRProposer(Process):
         self._buffer.clear()
         self.storage.write("batch_buffer", ())
         self.batches_sent += 1
-        self._forward(batch)
+        self._ship(batch)
+
+    # -- retransmission ----------------------------------------------------
+
+    def _register_unacked(self, value: Hashable) -> bool:
+        """Arm the retry timer for *value*; True if newly tracked."""
+        retransmit = self.config.retransmit
+        if retransmit is None or value in self._unacked:
+            return False
+        state = _RetryState(timer=None, interval=retransmit.retry_interval)
+        state.timer = self.set_timer(state.interval, lambda: self._retry(value))
+        self._unacked[value] = state
+        return True
+
+    def _ship(self, value: Hashable) -> None:
+        """Forward *value* and, with retransmission on, track it unacked."""
+        if self._register_unacked(value):
+            self._journal_unacked()
+        self._forward(value)
+
+    def _retry(self, value: Hashable) -> None:
+        state = self._unacked.get(value)
+        retransmit = self.config.retransmit
+        if state is None or retransmit is None:
+            return
+        self.retransmissions += 1
+        state.attempts += 1
+        # Exponential backoff, capped: a value stuck behind a long outage
+        # keeps being offered without flooding the network meanwhile.
+        state.interval = min(state.interval * retransmit.backoff, retransmit.max_interval)
+        state.timer = self.set_timer(state.interval, lambda: self._retry(value))
+        self._forward(value)
+
+    def on_iack(self, msg: IAck, src: Hashable) -> None:
+        state = self._unacked.get(msg.value)
+        if state is None:
+            return
+        state.acked.add(src)
+        # Retire only once every learner confirmed: retransmission is the
+        # re-driver for learners that missed the decision entirely.
+        if len(state.acked) >= len(self.config.topology.learners):
+            if state.timer is not None:
+                self.drop_timer(state.timer)
+            del self._unacked[msg.value]
+            self._journal_unacked()
+
+    def _journal_unacked(self) -> None:
+        self.storage.write("unacked", tuple(self._unacked))
 
     def _forward(self, value: Hashable) -> None:
         coord_quorum = None
@@ -233,8 +435,15 @@ class SMRProposer(Process):
     def on_crash(self) -> None:
         self._buffer = []
         self._flush_timer = None
+        self._unacked = {}
 
     def on_recover(self) -> None:
+        # Unacked values first (they were already in flight), then the
+        # buffered partial batch.  The rebuilt buffer equals the journal
+        # that was just read, so no re-journalling is needed.
+        for value in self.storage.read("unacked", ()):
+            if self._register_unacked(value):
+                self._forward(value)
         buffered = self.storage.read("batch_buffer", ())
         if buffered:
             self._buffer = list(buffered)
@@ -258,27 +467,35 @@ class SMRCoordinator(Process):
         self.decided: dict[int, Hashable] = {}
         self.highest_seen: RoundId = ZERO
         self.reassignments = 0
-        self._sent: dict[int, Hashable] = {}  # instance -> value last sent in 2a
+        self._sent: dict[int, Hashable] = {}  # undecided instance -> 2a value
         self._owners: dict[int, int] = {}  # instance -> lowest coord index seen
-        # Mirror sets for O(1) membership on the per-proposal hot paths
+        # Mirror indexes for O(1) membership on the per-proposal hot paths
         # (the dict .values() scans made proposal handling O(n^2) overall).
         self._pending_cmds: set[Hashable] = set()  # {p.cmd for p in pending}
         self._assigned_cmds: set[Hashable] = set()  # {p.cmd for p in assigned.values()}
-        self._sent_values: set[Hashable] = set()  # set(self._sent.values())
-        self._decided_values: set[Hashable] = set()  # set(self.decided.values())
+        self._sent_values: dict[Hashable, int] = {}  # value -> live _sent entries
+        self._decided_values: dict[Hashable, int] = {}  # value -> first instance
         self._observed: dict[Hashable, float] = {}  # every proposed command
         self._served: set[Hashable] = set()  # commands seen decided
         self._hole_seen: dict[int, float] = {}  # undecided gaps, first seen
+        self._decided_frontier = 0  # all instances below are decided
+        self._top_decided = -1  # highest decided instance
         self._p1b: dict[RoundId, dict[str, I1b]] = {}
-        self._p2b: dict[tuple[int, RoundId], dict[str, Hashable]] = {}
+        self._p2b: dict[int, dict[RoundId, dict[str, Hashable]]] = {}
         self._fd: FailureDetector | None = None
         self._last_round_change = 0.0
+        self.gossip_sent = 0
+        self.reannounced_2a = 0
         if config.liveness is not None:
             peers = list(enumerate(config.topology.coordinators))
             self._fd = FailureDetector(
                 self, index, peers, config.liveness, on_check=self._progress_check
             )
             self._fd.start()
+        if config.retransmit is not None:
+            self.set_periodic_timer(
+                config.retransmit.gossip_interval, self._reliability_tick
+            )
 
     # -- round management --------------------------------------------------
 
@@ -305,7 +522,7 @@ class SMRCoordinator(Process):
         self.assigned = {}
         self._assigned_cmds = set()
         self._sent = {}
-        self._sent_values = set()
+        self._sent_values = {}
         self._owners = {}
         self.highest_seen = max(self.highest_seen, rnd)
 
@@ -389,17 +606,25 @@ class SMRCoordinator(Process):
     # -- proposals ------------------------------------------------------------------
 
     def on_ipropose(self, msg: IPropose, src: Hashable) -> None:
+        if msg.cmd in self._decided_values:
+            # A retransmitted proposal of a chosen value: the proposer (and
+            # possibly some learners) missed the decision.  Re-announce it
+            # instead of re-driving consensus; the learners (re-)ack.
+            if self.config.retransmit is not None:
+                instance = self._decided_values[msg.cmd]
+                self.broadcast(
+                    self.config.topology.learners,
+                    IDecided(instance, self.decided[instance]),
+                )
+            return
         # Track every command for the leader's stuck detection, even when
         # this coordinator is not in the command's quorum.
         if msg.cmd not in self._observed and msg.cmd not in self._served:
             self._observed[msg.cmd] = self.now
+            self._journal_observed()
         if msg.coord_quorum is not None and self.index not in msg.coord_quorum:
             return
-        if (
-            msg.cmd in self._pending_cmds
-            or msg.cmd in self._assigned_cmds
-            or msg.cmd in self._decided_values
-        ):
+        if msg.cmd in self._pending_cmds or msg.cmd in self._assigned_cmds:
             return
         self.pending.append(msg)
         self._pending_cmds.add(msg.cmd)
@@ -428,12 +653,26 @@ class SMRCoordinator(Process):
             self.next_instance += 1
             self._send_2a(instance, proposal.cmd, proposal)
 
+    def _note_sent(self, instance: int, value: Hashable) -> None:
+        self._sent[instance] = value
+        self._sent_values[value] = self._sent_values.get(value, 0) + 1
+
+    def _retire_sent(self, instance: int) -> None:
+        """Drop the 2a bookkeeping of a decided instance (state GC)."""
+        if instance not in self._sent:
+            return
+        value = self._sent.pop(instance)
+        count = self._sent_values.get(value, 0) - 1
+        if count <= 0:
+            self._sent_values.pop(value, None)
+        else:
+            self._sent_values[value] = count
+
     def _send_2a(self, instance: int, value: Hashable, proposal: IPropose | None) -> None:
         if proposal is not None:
             self.assigned[instance] = proposal
             self._assigned_cmds.add(proposal.cmd)
-        self._sent[instance] = value
-        self._sent_values.add(value)
+        self._note_sent(instance, value)
         self._owners.setdefault(instance, self.index)
         self.metrics.count_command_handled(self.pid)
         targets = self.config.topology.acceptors
@@ -471,12 +710,19 @@ class SMRCoordinator(Process):
             return
         instance = msg.instance
         self.next_instance = max(self.next_instance, instance + 1)
+        if instance in self.decided:
+            # Already chosen (our 2a bookkeeping was retired).  Only a
+            # *re-announced* 2a signals a peer stuck on the instance and
+            # warrants an IDecided answer; ordinary late endorsements stay
+            # silent so the lossless fast path pays no echo chatter.
+            if self.config.retransmit is not None and msg.reannounce:
+                self.send(src, IDecided(instance, self.decided[instance]))
+            return
         if instance in self._sent:
             return  # our value for this instance is final within the round
         # Endorse: forward the same value so the coordinator quorum agrees.
         self._owners[instance] = min(self._owners.get(instance, msg.coord), msg.coord)
-        self._sent[instance] = msg.val
-        self._sent_values.add(msg.val)
+        self._note_sent(instance, msg.val)
         self.broadcast(
             self.config.topology.acceptors,
             I2a(self.crnd, instance, msg.val, self.index),
@@ -490,22 +736,45 @@ class SMRCoordinator(Process):
 
     def on_i2b(self, msg: I2b, src: Hashable) -> None:
         self.highest_seen = max(self.highest_seen, msg.rnd)
-        key = (msg.instance, msg.rnd)
-        votes = self._p2b.setdefault(key, {})
+        if msg.instance in self.decided:
+            return  # late/duplicate votes for a settled instance
+        votes = self._p2b.setdefault(msg.instance, {}).setdefault(msg.rnd, {})
         votes[msg.acceptor] = msg.val
         count = sum(1 for v in votes.values() if v == msg.val)
         if count < self.config.quorums.classic_quorum_size:
             return
-        if msg.instance not in self.decided:
-            self.decided[msg.instance] = msg.val
-            self._decided_values.add(msg.val)
-        self._served.add(msg.val)
-        self._observed.pop(msg.val, None)
-        self.next_instance = max(self.next_instance, msg.instance + 1)
-        proposal = self.assigned.pop(msg.instance, None)
+        self._record_decided(msg.instance, msg.val)
+
+    def _record_decided(self, instance: int, val: Hashable) -> None:
+        """Note that *instance* chose *val*; retire its in-flight state.
+
+        Retiring the ``_sent``/``assigned``/vote bookkeeping keeps
+        per-coordinator state bounded by the number of *undecided*
+        instances instead of growing monotonically, and unblocks requeued
+        race losers (a command whose 2a lost its instance would otherwise
+        stay shadowed by its own stale ``_sent`` entry until the next
+        round change).
+        """
+        if instance in self.decided:
+            return
+        self.decided[instance] = val
+        self._decided_values.setdefault(val, instance)
+        self._top_decided = max(self._top_decided, instance)
+        while self._decided_frontier in self.decided:
+            self._decided_frontier += 1
+        self._served.add(val)
+        if val in self._observed:
+            del self._observed[val]
+            self._journal_observed()
+        self.next_instance = max(self.next_instance, instance + 1)
+        self._p2b.pop(instance, None)
+        self._hole_seen.pop(instance, None)
+        self._owners.pop(instance, None)
+        self._retire_sent(instance)
+        proposal = self.assigned.pop(instance, None)
         if proposal is not None:
             self._assigned_cmds.discard(proposal.cmd)
-        if proposal is not None and proposal.cmd != msg.val:
+        if proposal is not None and proposal.cmd != val:
             # We lost the race for this instance; requeue our command.
             self.reassignments += 1
             if (
@@ -519,12 +788,112 @@ class SMRCoordinator(Process):
             # A decision freed pipeline capacity; refill the window.
             self._drain()
 
+    def on_idecided(self, msg: IDecided, src: Hashable) -> None:
+        existing = self.decided.get(msg.instance)
+        if existing is not None:
+            _check_consistent(msg.instance, existing, msg.val)
+        self._record_decided(msg.instance, msg.val)
+
     def on_inack(self, msg: INack, src: Hashable) -> None:
         self.highest_seen = max(self.highest_seen, msg.higher)
 
     def on_heartbeat(self, msg: Heartbeat, src: Hashable) -> None:
         if self._fd is not None:
             self._fd.on_heartbeat(msg)
+
+    # -- reliability layer (gossip + 2a re-announce) -----------------------------------
+
+    def _journal_observed(self) -> None:
+        """Persist the observed command set (one batched disk write).
+
+        Without this, ``on_crash`` discards ``_observed`` and a proposal
+        seen only by this coordinator is silently lost until the proposer
+        retransmits -- and forever if retransmission is off.  The set only
+        holds *unserved* commands (decided ones are removed), so the write
+        payload -- and the worst-case quadratic rewrite cost across a
+        burst of n simultaneous proposals -- is bounded by the in-flight
+        window, not the history.  That bound is why the whole set is
+        rewritten rather than journalled per-key like acceptor votes:
+        per-key removal would need tombstones (StableStorage has no
+        delete) whose count *does* grow with history.  With neither
+        liveness nor retransmission configured nothing ever reads the set
+        back, so the write is skipped.
+        """
+        if self.config.liveness is None and self.config.retransmit is None:
+            return
+        self.storage.write("observed", tuple(self._observed))
+
+    def _reliability_tick(self) -> None:
+        """Periodic self-healing: re-offer 2as, gossip observed/holes."""
+        retransmit = self.config.retransmit
+        if retransmit is None:
+            return
+        # Re-announce our undecided 2a assignments (same value, same round
+        # -- safe) to acceptors *and* peer coordinators, so a dropped 2a or
+        # peer endorsement is eventually re-offered.  _sent only holds
+        # undecided instances (decided ones are retired).
+        if self.phase1_done and self.config.schedule.is_coordinator_of(
+            self.index, self.crnd
+        ):
+            peers = [
+                pid
+                for pid in self.config.topology.coordinator_pids(
+                    self.config.schedule.coordinators_of(self.crnd)
+                )
+                if pid != self.pid
+            ]
+            for instance, value in list(islice(self._sent.items(), retransmit.max_resend)):
+                self.reannounced_2a += 1
+                message = I2a(self.crnd, instance, value, self.index, reannounce=True)
+                self.broadcast(self.config.topology.acceptors, message)
+                self.broadcast(peers, message)
+        # Gossip observed-but-unserved commands (so they reach the leader's
+        # stuck detection) and undecided holes (peers that know the
+        # decision answer with IDecided).
+        observed = tuple(islice(self._observed, retransmit.max_resend))
+        holes = tuple(self._holes(limit=retransmit.max_resend))
+        if observed or holes:
+            self.gossip_sent += 1
+            peers = [
+                pid for pid in self.config.topology.coordinators if pid != self.pid
+            ]
+            self.broadcast(peers, IGossip(observed, holes))
+
+    def _holes(self, limit: int | None = None) -> list[int]:
+        """Undecided instances below the top decided instance.
+
+        Scans only the [frontier, top] window -- everything below the
+        contiguous decided frontier is settled -- so quiescent ticks cost
+        O(1) instead of rescanning the full decided history.
+        """
+        holes = []
+        for j in range(self._decided_frontier, self._top_decided):
+            if limit is not None and len(holes) >= limit:
+                break
+            if j not in self.decided:
+                holes.append(j)
+        return holes
+
+    def on_igossip(self, msg: IGossip, src: Hashable) -> None:
+        changed = False
+        for command in msg.observed:
+            instance = self._decided_values.get(command)
+            if instance is not None:
+                # The sender gossips a command we know is decided (it may
+                # have crashed across the decision and reloaded a stale
+                # observed set): answer so it can retire the entry instead
+                # of re-gossiping it forever.
+                self.send(src, IDecided(instance, self.decided[instance]))
+                continue
+            if command not in self._observed and command not in self._served:
+                self._observed[command] = self.now
+                changed = True
+        if changed:
+            self._journal_observed()
+        for instance in msg.holes:
+            value = self.decided.get(instance)
+            if value is not None:
+                self.send(src, IDecided(instance, value))
 
     # -- liveness -----------------------------------------------------------------------
 
@@ -540,10 +909,8 @@ class SMRCoordinator(Process):
             for cmd, since in self._observed.items()
             if self.now - since > liveness.stuck_timeout
         ]
-        top_decided = max(self.decided, default=-1)
-        holes = {j for j in range(top_decided) if j not in self.decided}
         self._hole_seen = {
-            j: self._hole_seen.get(j, self.now) for j in holes
+            j: self._hole_seen.get(j, self.now) for j in self._holes()
         }
         aged_holes = [
             j
@@ -587,17 +954,29 @@ class SMRCoordinator(Process):
         self._owners = {}
         self._pending_cmds = set()
         self._assigned_cmds = set()
-        self._sent_values = set()
-        self._decided_values = set()
+        self._sent_values = {}
+        self._decided_values = {}
         self._observed = {}
         self._served = set()
         self._hole_seen = {}
+        self._decided_frontier = 0
+        self._top_decided = -1
         self._p1b = {}
         self._p2b = {}
 
     def on_recover(self) -> None:
+        # Reload the journalled observed set: proposals seen only by this
+        # coordinator before the crash must stay visible to stuck
+        # detection and gossip.  Observation times restart at *now* so the
+        # aging clock is conservative across the outage.
+        for command in self.storage.read("observed", ()):
+            self._observed.setdefault(command, self.now)
         if self._fd is not None:
             self._fd.start()
+        if self.config.retransmit is not None:
+            self.set_periodic_timer(
+                self.config.retransmit.gossip_interval, self._reliability_tick
+            )
 
 
 class SMRAcceptor(Process):
@@ -633,6 +1012,21 @@ class SMRAcceptor(Process):
         if msg.rnd < self.rnd:
             self.send(src, INack(msg.rnd, self.rnd))
             return
+        vote = self.votes.get(msg.instance)
+        if vote is not None and vote[0] >= msg.rnd:
+            # Already voted for this instance at this round or higher: the
+            # 2a cannot change the vote, so never rebuild the (released)
+            # quorum buffer -- a late third endorsement would otherwise
+            # leak one _p2a entry per decided instance.  A *re-offered* 2a
+            # additionally means its sender missed our I2b (e.g. the whole
+            # I2b-to-coordinators fan-out was lost while the learners
+            # still decided): re-send the journalled vote so the senders'
+            # decision tracking converges and their re-announce loop
+            # terminates.  Ordinary late 2as stay silent -- no echo
+            # chatter on the lossless fast path.
+            if msg.reannounce:
+                self.send(src, I2b(vote[0], msg.instance, vote[1], self.pid))
+            return
         key = (msg.instance, msg.rnd)
         buffer = self._p2a.setdefault(key, {})
         buffer[msg.coord] = msg.val
@@ -663,12 +1057,30 @@ class SMRAcceptor(Process):
         self.votes[instance] = (rnd, value)
         self.commands_accepted += 1
         self.storage.write_many({f"vote:{instance}": (rnd, value)})
+        # The 2a quorum buffer did its job; drop it so per-acceptor state
+        # tracks undecided instances only (on_i2a's vote guard keeps late
+        # 2as for this instance from rebuilding it).
+        self._p2a.pop((instance, rnd), None)
+        self._collided.discard((instance, rnd))
         vote = I2b(rnd, instance, value, self.pid)
         self.broadcast(self.config.topology.learners, vote)
         coords = self.config.topology.coordinator_pids(
             self.config.schedule.coordinators_of(rnd)
         )
         self.broadcast(coords, vote)
+
+    def on_icatchup(self, msg: ICatchUp, src: Hashable) -> None:
+        """Answer a learner's gap request from the journalled votes.
+
+        Re-sending the recorded (vrnd, vval) is the paper's fair-lossy
+        retransmission: if the value was chosen, a quorum voted for it at
+        one round, and repeated catch-up eventually reassembles that
+        quorum at the requesting learner.
+        """
+        for instance in msg.instances:
+            vote = self.votes.get(instance)
+            if vote is not None:
+                self.send(src, I2b(vote[0], instance, vote[1], self.pid))
 
     def on_crash(self) -> None:
         self.rnd = ZERO
@@ -690,6 +1102,13 @@ class SMRLearner(Process):
     Batched values are unpacked here: replicas observe individual commands
     in instance order, then intra-batch order, so the delivered sequence is
     the same total order whether or not batching is enabled upstream.
+
+    With retransmission enabled the learner also self-heals: it acks every
+    decision to the proposers (retiring their retransmission buffers),
+    and a periodic gap check re-requests evidence for undecided instances
+    below its highest decided instance -- from the acceptors (which answer
+    with a fresh ``I2b`` from their vote journal) and from peer learners
+    (which answer known decisions with ``IDecided``).
     """
 
     def __init__(self, pid: str, sim: Simulation, config: InstancesConfig) -> None:
@@ -697,10 +1116,17 @@ class SMRLearner(Process):
         self.config = config
         self.decided: dict[int, Hashable] = {}
         self.delivered: list[Hashable] = []
+        self.catchup_requests = 0
+        self.acks_sent = 0
         self._delivered_set: set[Hashable] = set()
         self._next_delivery = 0
-        self._votes: dict[tuple[int, RoundId], dict[str, Hashable]] = {}
+        self._top_decided = -1  # highest decided instance (gap-scan bound)
+        self._votes: dict[int, dict[RoundId, dict[str, Hashable]]] = {}
         self._callbacks: list[Callable[[int, Hashable], None]] = []
+        if config.retransmit is not None:
+            self.set_periodic_timer(
+                config.retransmit.catchup_interval, self._catchup_tick
+            )
 
     def on_deliver(self, callback: Callable[[int, Hashable], None]) -> None:
         self._callbacks.append(callback)
@@ -710,26 +1136,97 @@ class SMRLearner(Process):
         return cmd in self._delivered_set
 
     def on_i2b(self, msg: I2b, src: Hashable) -> None:
-        votes = self._votes.setdefault((msg.instance, msg.rnd), {})
+        existing = self.decided.get(msg.instance)
+        if existing is not None and existing == msg.val:
+            return  # straggler vote for a settled instance: no new info
+        # Votes for undecided instances -- and votes *conflicting* with a
+        # decision, which feed the consistency oracle below -- are indexed
+        # by instance so a decision can release the whole buffer at once.
+        # (A conflicting sub-quorum vote arriving after the decision keeps
+        # its buffer: it is the oracle's evidence, and such votes only
+        # exist after genuine instance races, so accumulation is bounded.)
+        votes = self._votes.setdefault(msg.instance, {}).setdefault(msg.rnd, {})
         votes[msg.acceptor] = msg.val
         count = sum(1 for v in votes.values() if v == msg.val)
         if count < self.config.quorums.classic_quorum_size:
             return
+        if existing is not None:
+            _check_consistent(msg.instance, existing, msg.val)
+        self._learn(msg.instance, msg.val)
+
+    def _learn(self, instance: int, val: Hashable) -> None:
+        self.decided[instance] = val
+        self._top_decided = max(self._top_decided, instance)
+        self._votes.pop(instance, None)
+        if isinstance(val, Batch):
+            for cmd in val.cmds:
+                self.metrics.record_learn(cmd, self.pid, self.now)
+        elif val != NOOP:
+            self.metrics.record_learn(val, self.pid, self.now)
+        self._ack(val)
+        self._deliver_ready()
+
+    def _ack(self, val: Hashable) -> None:
+        if self.config.retransmit is None or val == NOOP:
+            return
+        self.acks_sent += 1
+        self.broadcast(self.config.topology.proposers, IAck(val))
+
+    def on_idecided(self, msg: IDecided, src: Hashable) -> None:
         existing = self.decided.get(msg.instance)
         if existing is not None:
-            if existing != msg.val:
-                raise AssertionError(
-                    f"consistency violation in instance {msg.instance}: "
-                    f"{existing!r} vs {msg.val!r}"
-                )
+            _check_consistent(msg.instance, existing, msg.val)
+            # Re-ack: the announcement means some proposer is still
+            # retrying, i.e. an earlier ack was lost.
+            self._ack(msg.val)
             return
-        self.decided[msg.instance] = msg.val
-        if isinstance(msg.val, Batch):
-            for cmd in msg.val.cmds:
-                self.metrics.record_learn(cmd, self.pid, self.now)
-        elif msg.val != NOOP:
-            self.metrics.record_learn(msg.val, self.pid, self.now)
-        self._deliver_ready()
+        self._learn(msg.instance, msg.val)
+
+    # -- gap detection and catch-up -----------------------------------------
+
+    def gaps(self) -> list[int]:
+        """Undecided instances below the highest decided instance.
+
+        Scans only the [delivery frontier, top decided) window, so the
+        periodic gap poll is O(1) at quiescence instead of rescanning the
+        whole decided history.
+        """
+        return [
+            i
+            for i in range(self._next_delivery, self._top_decided)
+            if i not in self.decided
+        ]
+
+    def _catchup_tick(self) -> None:
+        retransmit = self.config.retransmit
+        if retransmit is None:
+            return
+        missing = self.gaps()
+        if not missing:
+            return
+        self.catchup_requests += 1
+        request = ICatchUp(tuple(missing[: retransmit.max_resend]))
+        peers = [pid for pid in self.config.topology.learners if pid != self.pid]
+        self.broadcast(self.config.topology.acceptors, request)
+        self.broadcast(peers, request)
+
+    def on_icatchup(self, msg: ICatchUp, src: Hashable) -> None:
+        """Answer a peer learner's gap request with known decisions."""
+        for instance in msg.instances:
+            value = self.decided.get(instance)
+            if value is not None:
+                self.send(src, IDecided(instance, value))
+
+    def on_recover(self) -> None:
+        # Timers died with the crash; re-arm the gap poll.  Decisions made
+        # during the outage need no poll of their own: this learner never
+        # acked them, so the proposers are still retrying, and the
+        # resulting IDecided re-announcements raise _top_decided -- the
+        # poll then fills whatever gaps remain below it.
+        if self.config.retransmit is not None:
+            self.set_periodic_timer(
+                self.config.retransmit.catchup_interval, self._catchup_tick
+            )
 
     def _deliver_ready(self) -> None:
         while self._next_delivery in self.decided:
@@ -790,6 +1287,20 @@ class SMRCluster:
             for learner in self.learners
         )
 
+    def delivery_orders(self) -> list[tuple]:
+        """Per-learner delivered sequences (for total-order assertions)."""
+        return [tuple(learner.delivered) for learner in self.learners]
+
+    def retransmission_stats(self) -> dict[str, int]:
+        """Aggregate reliability-layer counters across the cluster."""
+        return {
+            "retransmissions": sum(p.retransmissions for p in self.proposers),
+            "gossip_rounds": sum(c.gossip_sent for c in self.coordinators),
+            "reannounced_2a": sum(c.reannounced_2a for c in self.coordinators),
+            "catchup_requests": sum(l.catchup_requests for l in self.learners),
+            "acks": sum(l.acks_sent for l in self.learners),
+        }
+
     def run_until_delivered(self, cmds, timeout: float = 5_000.0) -> bool:
         cmds = list(cmds)
         return self.sim.run_until(lambda: self.everyone_delivered(cmds), timeout=timeout)
@@ -805,6 +1316,7 @@ def build_smr(
     liveness: LivenessConfig | None = None,
     f: int | None = None,
     batching: BatchingConfig | None = None,
+    retransmit: RetransmitConfig | None = None,
 ) -> SMRCluster:
     """Deploy a multicoordinated MultiPaxos replication group on *sim*."""
     topology = Topology.build(n_proposers, n_coordinators, n_acceptors, n_learners)
@@ -817,6 +1329,7 @@ def build_smr(
         schedule=schedule,
         liveness=liveness,
         batching=batching,
+        retransmit=retransmit,
     )
     return SMRCluster(
         sim=sim,

@@ -42,6 +42,10 @@ class BroadcastReplica:
     def on_execute(self, observer: Callable[[Command, object], None]) -> None:
         self._observers.append(observer)
 
+    def order_signature(self) -> tuple[Command, ...]:
+        """The applied command sequence (for cross-replica agreement checks)."""
+        return tuple(self.executed)
+
     def _on_learn(self, new_cmds, learned) -> None:
         for cmd in new_cmds:
             if cmd in self._executed_set:
@@ -74,6 +78,10 @@ class OrderedReplica:
 
     def on_execute(self, observer: Callable[[Command, object], None]) -> None:
         self._observers.append(observer)
+
+    def order_signature(self) -> tuple[Command, ...]:
+        """The applied command sequence (for cross-replica agreement checks)."""
+        return tuple(self.executed)
 
     def _on_deliver(self, instance: int, cmd) -> None:
         if cmd in self._executed_set:
