@@ -852,6 +852,114 @@ def experiment_e10(
     return rows
 
 
+# ---------------------------------------------------------------------------
+# E11 -- lattice-operation scaling of the generalized engine (ROADMAP item)
+# ---------------------------------------------------------------------------
+
+
+def _e11_run(
+    mode: str,
+    n_commands: int,
+    conflict_rate: float,
+    seed: int = 13,
+    window: int = 8,
+    bottom_factory: "Callable[[], object] | None" = None,
+    read_fraction: float = 0.2,
+) -> Row:
+    """One closed-loop saturation run; wall time isolates lattice-op cost.
+
+    A :class:`repro.smr.client.PipelinedClient` keeps *window* commands in
+    flight, so the engines run at arrival pressure rather than timer pace.
+    ``bottom_factory`` lets callers swap the c-struct implementation under
+    the *same* protocol (the E11 benchmark uses it to race the incremental
+    digraph history against the pre-digraph pairwise-scan implementation).
+    """
+    import time as _time
+
+    from repro.smr.client import PipelinedClient
+
+    sim = Simulation(seed=seed, max_events=20_000_000)
+    if mode == "classic (instances)":
+        from repro.smr.instances import BatchingConfig, build_smr
+        from repro.smr.machine import KVStore
+        from repro.smr.replica import OrderedReplica
+
+        cluster = build_smr(
+            sim,
+            n_proposers=2,
+            n_coordinators=3,
+            n_acceptors=3,
+            n_learners=2,
+            liveness=LivenessConfig(),
+            batching=BatchingConfig(max_batch=4, flush_interval=2.0, pipeline_depth=4),
+        )
+        cluster.start_round(cluster.config.schedule.make_round(0, 1, 2))
+        client = PipelinedClient("e11", cluster, window=window)
+        replica = OrderedReplica(cluster.learners[0], KVStore())
+        client.watch_replica(replica)
+    else:
+        bottom = (
+            bottom_factory() if bottom_factory is not None
+            else CommandHistory.bottom(kv_conflict())
+        )
+        rtype = 1 if mode.startswith("generalized") else 2
+        cluster = build_generalized(
+            sim, bottom=bottom, n_coordinators=3, n_acceptors=3, n_learners=2
+        )
+        cluster.start_round(cluster.config.schedule.make_round(0, 1, rtype))
+        client = PipelinedClient("e11", cluster, window=window)
+        client.watch_learner(cluster.learners[0])
+    workload = Workload.generate(
+        WorkloadConfig(
+            n_commands=n_commands,
+            conflict_rate=conflict_rate,
+            read_fraction=read_fraction,
+            seed=seed,
+        )
+    )
+    sim.run(until=5.0)  # let the round establish before loading it
+    client.submit(workload.commands)
+    target = len(workload.commands)
+    start = _time.perf_counter()
+    completed = sim.run_until(
+        lambda: len(client.completed) >= target, timeout=200.0 * n_commands
+    )
+    wall = _time.perf_counter() - start
+    return {
+        "mode": mode,
+        "commands": n_commands,
+        "conflict rate": conflict_rate,
+        "wall s": wall,
+        "events": sim.events_processed,
+        "makespan": sim.clock,
+        "cmds / wall s": n_commands / wall if wall else float("inf"),
+        "uncompleted": 0 if completed else target - len(client.completed),
+    }
+
+
+def experiment_e11(
+    n_grid: tuple[int, ...] = (50, 100, 200),
+    conflict_rates: tuple[float, ...] = (0.1, 0.5),
+    seed: int = 13,
+) -> list[Row]:
+    """Scaling sweep: commands x conflict density x engine.
+
+    The generalized/multicoordinated engines decide one ever-growing
+    command history, so their per-event lattice work is the scaling
+    bottleneck this PR's incremental constraint digraph removes; the
+    instance-per-command engine (constant-size values) is the baseline
+    whose scaling was never lattice-bound.  Near-linear wall-time growth
+    of the generalized modes at low conflict density is the headline
+    claim, asserted by ``benchmarks/bench_e11_lattice.py``.
+    """
+    rows: list[Row] = []
+    for mode in ("classic (instances)", "generalized (single-coord)", "multicoordinated"):
+        for rate in conflict_rates:
+            for n in n_grid:
+                rows.append(_e11_run(mode, n, rate, seed=seed))
+    return rows
+
+
 ALL_EXPERIMENTS: dict[str, Callable[[], list[Row]]] = {
     "E1 latency (steps)": experiment_e1,
     "E2 quorum sizes": experiment_e2,
@@ -864,4 +972,5 @@ ALL_EXPERIMENTS: dict[str, Callable[[], list[Row]]] = {
     "E8 crossover": experiment_e8,
     "E9 batching": experiment_e9,
     "E10 loss liveness": experiment_e10,
+    "E11 lattice scaling": experiment_e11,
 }

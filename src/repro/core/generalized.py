@@ -47,7 +47,7 @@ from repro.core.provedsafe import proved_safe
 from repro.core.quorums import QuorumSystem
 from repro.core.rounds import ZERO, RoundId, RoundSchedule
 from repro.core.topology import Topology
-from repro.cstruct.base import CStruct, glb_set
+from repro.cstruct.base import CStruct, IncompatibleError, glb_set
 from repro.cstruct.commands import Command
 from repro.sim.process import Process
 from repro.sim.scheduler import Simulation
@@ -117,6 +117,10 @@ class GenCoordinator(Process):
         self.cval: CStruct | None = None
         self.highest_seen: RoundId = ZERO
         self.known_cmds: list[Command] = []
+        self._known: set[Command] = set()  # mirror of known_cmds
+        # Commands not yet appended to cval: _forward_pending drains this
+        # delta instead of rescanning the whole known_cmds list per event.
+        self._unforwarded: list[Command] = []
         self.rounds_started = 0
         self._p1b: dict[RoundId, dict[Hashable, Phase1b]] = {}
         self._acceptor_hint: dict[Command, frozenset[str]] = {}
@@ -158,28 +162,35 @@ class GenCoordinator(Process):
             self._unserved[cmd] = self.now
         if msg.coord_quorum is not None and self.index not in msg.coord_quorum:
             return
-        if cmd not in self.known_cmds:
+        if cmd not in self._known:
+            self._known.add(cmd)
             self.known_cmds.append(cmd)
+            self._unforwarded.append(cmd)
             if msg.acceptor_quorum is not None:
                 self._acceptor_hint[cmd] = msg.acceptor_quorum
         self._forward_pending()
 
     def _forward_pending(self) -> None:
-        """Append known commands to cval and send the grown c-struct."""
+        """Append the unforwarded delta to cval and send the grown c-struct.
+
+        Only the suffix of commands not yet in ``cval`` is examined, so a
+        burst of proposals costs O(new·conflicts) lattice work instead of
+        rescanning the entire command history per proposal.
+        """
         if self.cval is None or self.crnd == ZERO:
             return
         if self.config.schedule.is_fast(self.crnd):
             return  # proposers talk to acceptors directly in fast rounds
         if not self.config.schedule.is_coordinator_of(self.index, self.crnd):
             return
-        grown = self.cval
-        appended: list[Command] = []
-        for cmd in self.known_cmds:
-            if not grown.contains(cmd):
-                grown = grown.append(cmd)
-                appended.append(cmd)
+        if not self._unforwarded:
+            return
+        pending = self._unforwarded
+        self._unforwarded = []
+        appended = [cmd for cmd in pending if not self.cval.contains(cmd)]
         if not appended:
             return
+        grown = self.cval.extend(appended)
         self.cval = grown
         for cmd in appended:
             self.metrics.count_command_handled(self.pid)
@@ -218,9 +229,10 @@ class GenCoordinator(Process):
         picks = proved_safe(self.config.quorums, msgs, self.config.schedule.is_fast)
         value = max(picks, key=lambda v: (len(v.command_set()), str(v)))
         if not self.config.schedule.is_fast(self.crnd):
-            for cmd in self.known_cmds:
-                if not value.contains(cmd):
-                    value = value.append(cmd)
+            value = value.extend(
+                cmd for cmd in self.known_cmds if not value.contains(cmd)
+            )
+            self._unforwarded = []  # everything known is now in cval
         self.cval = value
         self.broadcast(
             self.config.topology.acceptors, Phase2a(self.crnd, value, self.index)
@@ -277,6 +289,8 @@ class GenCoordinator(Process):
         self.crnd = ZERO
         self.cval = None
         self.known_cmds = []
+        self._known = set()
+        self._unforwarded = []
         self._p1b = {}
         self._unserved = {}
         self._learned_cmds = set()
@@ -296,10 +310,15 @@ class GenAcceptor(Process):
         self.vrnd: RoundId = ZERO
         self.vval: CStruct = config.bottom
         self.pending: list[Command] = []
+        self._pending_set: set[Command] = set()  # mirror of pending
         self.collisions_detected = 0
         self.fast_accepts = 0
         self.commands_accepted = 0  # distinct commands this acceptor accepted
         self._p2a: dict[RoundId, dict[int, CStruct]] = {}
+        # Running lub of every value recorded per round: the collision
+        # detector merges each incoming value into it (one lub) instead of
+        # re-checking all buffered pairs.
+        self._p2a_merge: dict[RoundId, CStruct] = {}
         self._collided: set[RoundId] = set()
         self.storage.write("mcount", 0)
 
@@ -340,35 +359,79 @@ class GenAcceptor(Process):
         # network may reorder its "2a" messages; keep the largest seen so a
         # stale message cannot regress the buffer.
         previous = buffer.get(msg.coord)
-        if previous is None or previous.leq(msg.val):
+        changed = True
+        if previous is None:
             buffer[msg.coord] = msg.val
-        elif not msg.val.leq(previous):
-            buffer[msg.coord] = msg.val  # incompatible: surface the collision
-        if self._detect_collision(rnd, buffer):
+        elif len(previous.command_set()) < len(msg.val.command_set()):
+            # Strictly more commands: newer on the coordinator's monotone
+            # growth path (a reordered older message can only be smaller),
+            # or a post-crash fork -- either way the larger value stands
+            # and any incompatibility surfaces in the collision check.
+            buffer[msg.coord] = msg.val
+        elif previous is msg.val or previous == msg.val:
+            changed = False  # duplicate delivery
+        elif len(previous.command_set()) == len(msg.val.command_set()):
+            buffer[msg.coord] = msg.val  # same-size fork: surface the collision
+        elif msg.val.leq(previous):
+            changed = False  # stale reordered message
+        else:
+            buffer[msg.coord] = msg.val  # smaller incompatible fork: surface it
+        if changed and self._detect_collision(rnd, msg.val):
+            # An unchanged buffer cannot newly collide; only re-check after
+            # an update.
             return
         if self.config.schedule.is_fast(rnd):
             # Fast rounds: a single coordinator's "2a" suffices (Section 3.3).
             self._accept_classic(rnd, msg.val)
             self._try_fast_append()
             return
+        if not changed:
+            # Byte-identical buffer (duplicate or stale-reordered message):
+            # every quorum glb was already evaluated when the buffer last
+            # changed.
+            return
+        if (
+            self.vrnd == rnd
+            and len(msg.val.command_set()) <= len(self.vval.command_set())
+            and msg.val.leq(self.vval)
+        ):
+            # Redundant delivery: this coordinator's contribution is below
+            # the accepted value, so every quorum glb it participates in is
+            # too, and quorums without it saw no new information.  Skip the
+            # quorum enumeration entirely (the suffix-diff leq makes this
+            # check O(|msg.val|), independent of the accepted history).
+            return
         senders = frozenset(buffer)
         for quorum in self.config.schedule.coord_quorums(rnd):
+            if msg.coord not in quorum:
+                # A quorum glb changes only when a member's buffered value
+                # does; quorums without this coordinator were evaluated
+                # when their members last reported.
+                continue
             if quorum <= senders:
                 lower_bound = glb_set([buffer[c] for c in sorted(quorum)])
                 self._accept_classic(rnd, lower_bound)
 
-    def _detect_collision(self, rnd: RoundId, buffer: dict[int, CStruct]) -> bool:
-        """Multicoordinated collision: incompatible c-structs from one round."""
+    def _detect_collision(self, rnd: RoundId, new_val: CStruct) -> bool:
+        """Multicoordinated collision: incompatible c-structs in one round.
+
+        Folds every recorded value into a per-round running lub; a value
+        incompatible with *any* previously recorded one is incompatible
+        with their lub and vice versa (CS3: a pairwise-compatible set is
+        jointly compatible), so one lub per delivery replaces the O(k²)
+        pairwise scan.
+        """
         if self.config.schedule.is_fast(rnd) or rnd in self._collided:
             return False
-        values = sorted(buffer.items())
-        incompatible = any(
-            not va.is_compatible(vb)
-            for i, (_, va) in enumerate(values)
-            for _, vb in values[i + 1 :]
-        )
-        if not incompatible:
+        merge = self._p2a_merge.get(rnd)
+        if merge is None:
+            self._p2a_merge[rnd] = new_val
             return False
+        try:
+            self._p2a_merge[rnd] = merge.lub(new_val)
+            return False
+        except IncompatibleError:
+            pass
         self._collided.add(rnd)
         self.collisions_detected += 1
         next_rnd = self.config.schedule.next_round(rnd)
@@ -382,28 +445,34 @@ class GenAcceptor(Process):
         if rnd < self.rnd:
             return
         if self.vrnd == rnd:
-            if not self.vval.is_compatible(lower_bound):
+            if lower_bound.leq(self.vval):
+                return  # nothing new to accept or report
+            try:
+                new_value = self.vval.lub(lower_bound)
+            except IncompatibleError:
                 return
-            new_value = self.vval.lub(lower_bound)
+            if new_value == self.vval:
+                return
         else:
             new_value = lower_bound
-        if self.vrnd == rnd and new_value == self.vval:
-            return  # nothing new to accept or report
-        self.commands_accepted += len(
-            new_value.command_set() - self.vval.command_set()
-        )
+        gained = new_value.command_set() - self.vval.command_set()
+        self.commands_accepted += len(gained)
+        # Delta hint for learners: the commands this acceptance added, in
+        # execution order (advisory; the vote still carries the whole val).
+        fresh = tuple(c for c in new_value.linear_extension() if c in gained)
         self._advance_round(rnd)
         self.vrnd = rnd
         self.vval = new_value
         self._persist_vote()
-        self._broadcast_2b()
+        self._broadcast_2b(fresh)
 
     # -- phase 2b (fast) ---------------------------------------------------------------
 
     def on_propose(self, msg: Propose, src: Hashable) -> None:
         if msg.acceptor_quorum is not None and self.pid not in msg.acceptor_quorum:
             return
-        if msg.cmd not in self.pending:
+        if msg.cmd not in self._pending_set:
+            self._pending_set.add(msg.cmd)
             self.pending.append(msg.cmd)
         self._try_fast_append()
 
@@ -411,17 +480,15 @@ class GenAcceptor(Process):
         """Phase2bFast(a): extend vval with proposals in an open fast round."""
         if not self.config.schedule.is_fast(self.rnd) or self.vrnd != self.rnd:
             return
-        grown = self.vval
-        for cmd in self.pending:
-            if not grown.contains(cmd):
-                grown = grown.append(cmd)
-                self.fast_accepts += 1
-                self.commands_accepted += 1
-        if grown == self.vval:
+        appended = [cmd for cmd in self.pending if not self.vval.contains(cmd)]
+        if not appended:
             return
+        grown = self.vval.extend(appended)
+        self.fast_accepts += len(appended)
+        self.commands_accepted += len(appended)
         self.vval = grown
         self._persist_vote()
-        self._broadcast_2b()
+        self._broadcast_2b(tuple(appended))
 
     # -- shared helpers --------------------------------------------------------------
 
@@ -429,8 +496,8 @@ class GenAcceptor(Process):
         self.storage.write_many({"vrnd": self.vrnd, "vval": self.vval})
         self.metrics.custom["acceptor_disk_writes"] += 1
 
-    def _broadcast_2b(self) -> None:
-        vote = Phase2b(self.vrnd, self.vval, self.pid)
+    def _broadcast_2b(self, fresh: tuple[Command, ...] | None = None) -> None:
+        vote = Phase2b(self.vrnd, self.vval, self.pid, fresh=fresh)
         self.broadcast(self.config.topology.learners, vote)
         if self.config.send_2b_to_coordinators:
             coords = self.config.topology.coordinator_pids(
@@ -445,7 +512,9 @@ class GenAcceptor(Process):
         self.vrnd = ZERO
         self.vval = self.config.bottom
         self.pending = []
+        self._pending_set = set()
         self._p2a = {}
+        self._p2a_merge = {}
         self._collided = set()
 
     def on_recover(self) -> None:
@@ -463,13 +532,16 @@ class GenLearner(Process):
     """Learns ever-growing c-structs from quorums of "2b" messages.
 
     The learner keeps an *executed frontier*: the set of commands already
-    contained in ``learned`` (``_seen``) plus its size.  Every hot-path
-    decision -- can this vote grow the learned struct, which glb candidates
-    are worth a lub, which commands are new for the callbacks -- is a set
-    membership test against the frontier, instead of recomputing
-    ``command_set()`` differences and ``delta_after`` against a snapshot on
-    every learn event.  Redundant "2b" deliveries (quorum echoes,
-    duplicates, re-sends) short-circuit before any lattice operation runs.
+    contained in ``learned`` (``_seen``).  On top of it, a per-(round,
+    acceptor) *unseen set* tracks which commands of the acceptor's latest
+    vote are not yet learned; it is maintained from the ``fresh`` delta the
+    acceptor piggybacks on its "2b" (O(|delta|) per delivery) and falls
+    back to a full O(n) rescan only when a message gap makes the sizes
+    disagree.  Every hot-path decision -- can this vote grow the learned
+    struct, which glb candidates are worth a lub, which commands are new
+    for the callbacks -- is then a membership test against these
+    frontiers.  Redundant "2b" deliveries (quorum echoes, duplicates,
+    re-sends) short-circuit in O(delta) before any lattice operation runs.
     """
 
     def __init__(self, pid: str, sim: Simulation, config: GeneralizedConfig) -> None:
@@ -480,35 +552,69 @@ class GenLearner(Process):
         self._callbacks: list[Callable[[tuple[Command, ...], CStruct], None]] = []
         # Executed frontier: exactly the commands of self.learned.
         self._seen: set[Command] = set(config.bottom.command_set())
-        # Votes proven to contain no unseen command (vvals grow
-        # monotonically and are replaced wholesale, so object identity is a
-        # sound cache key; the frontier only grows, so the answer is stable).
-        self._exhausted_votes: dict[Hashable, CStruct] = {}
+        # Per-acceptor (for the acceptor's most recent round): commands of
+        # the recorded vote not yet learned, plus the vote's round and size
+        # (the delta-gap detector).  One entry per acceptor -- bounded
+        # state, O(acceptors) pruning per learn event; votes from older
+        # rounds fall back to an on-demand scan (:meth:`_unseen_of`).
+        self._vote_unseen: dict[Hashable, set[Command]] = {}
+        self._vote_rnd: dict[Hashable, RoundId] = {}
+        self._vote_size: dict[Hashable, int] = {}
 
     def on_learn(self, callback: Callable[[tuple[Command, ...], CStruct], None]) -> None:
         """Register ``callback(new_commands, learned)`` for learn events."""
         self._callbacks.append(callback)
 
-    def _vote_exhausted(self, acceptor: Hashable, vote: CStruct) -> bool:
-        """True when every command of *vote* is already learned."""
-        if self._exhausted_votes.get(acceptor) is vote:
-            return True
-        if all(cmd in self._seen for cmd in vote.command_set()):
-            self._exhausted_votes[acceptor] = vote
-            return True
-        return False
+    def _note_vote(
+        self, rnd: RoundId, acceptor: Hashable, vote: CStruct, fresh
+    ) -> None:
+        """Update the unseen frontier for a newly recorded vote.
+
+        When the acceptor's ``fresh`` delta accounts exactly for the size
+        difference since the previously recorded vote of the same round,
+        the frontier is updated in O(|fresh|); any gap (dropped or
+        reordered "2b", or a round change) forces a full rescan of the
+        vote's command set.
+        """
+        unseen = self._vote_unseen.get(acceptor)
+        size = len(vote.command_set())
+        if (
+            unseen is not None
+            and fresh is not None
+            and self._vote_rnd.get(acceptor) == rnd
+            and self._vote_size.get(acceptor, -1) + len(fresh) == size
+        ):
+            unseen.update(c for c in fresh if c not in self._seen)
+        else:
+            self._vote_unseen[acceptor] = {
+                c for c in vote.command_set() if c not in self._seen
+            }
+        self._vote_rnd[acceptor] = rnd
+        self._vote_size[acceptor] = size
+
+    def _unseen_of(self, rnd: RoundId, acceptor: Hashable, vote: CStruct):
+        """Unseen commands of *vote*: the frontier, or an on-demand scan.
+
+        The maintained frontier covers the acceptor's most recent round;
+        a vote from an older round (rare -- late traffic after a round
+        change) is scanned directly, which is the pre-frontier cost.
+        """
+        if self._vote_rnd.get(acceptor) == rnd:
+            return self._vote_unseen[acceptor]
+        return {c for c in vote.command_set() if c not in self._seen}
 
     def on_phase2b(self, msg: Phase2b, src: Hashable) -> None:
         votes = self._latest.setdefault(msg.rnd, {})
-        # An acceptor's vval grows monotonically within a round; a reordered
-        # older "2b" must not regress the recorded vote.
+        # An acceptor's vval grows monotonically within a round (and
+        # survives crashes via stable storage), so vote sizes order vote
+        # recency: a reordered older "2b" can only be smaller.  The size
+        # comparison replaces a per-delivery leq entirely.
         previous = votes.get(msg.acceptor)
-        if previous is None:
+        if previous is None or (
+            len(previous.command_set()) < len(msg.val.command_set())
+        ):
             votes[msg.acceptor] = msg.val
-        elif previous is not msg.val and previous != msg.val and previous.leq(msg.val):
-            # Identity/equality fast paths keep duplicate deliveries off the
-            # quadratic ``leq`` check.
-            votes[msg.acceptor] = msg.val
+            self._note_vote(msg.rnd, msg.acceptor, msg.val, msg.fresh)
         needed = self.config.quorums.quorum_size(
             fast=self.config.schedule.is_fast(msg.rnd)
         )
@@ -521,21 +627,30 @@ class GenLearner(Process):
         # tripwire below, so an agreement violation confined to
         # already-learned commands would not crash here -- the invariant
         # oracles (repro.core.invariants) remain the authoritative check.
-        growers = {
-            acc for acc, vote in votes.items() if not self._vote_exhausted(acc, vote)
+        unseen_by_acc = {
+            acc: self._unseen_of(msg.rnd, acc, vote) for acc, vote in votes.items()
         }
+        growers = {acc for acc, unseen in unseen_by_acc.items() if unseen}
         if len(growers) < needed:
             return
+        # Commands that could possibly be new: the union of the growers'
+        # unseen frontiers (a quorum glb is below each member's vote, so it
+        # cannot contain unseen commands from anywhere else).
+        pool: set[Command] = set()
+        for acc in growers:
+            pool |= unseen_by_acc[acc]
         new_learned = self.learned
         for chosen in self._chosen_candidates(votes, needed, growers):
-            if all(cmd in self._seen for cmd in chosen.command_set()):
+            chosen_cmds = chosen.command_set()
+            if not any(cmd in chosen_cmds for cmd in pool):
                 continue  # the glb dropped every unseen command
-            if not new_learned.is_compatible(chosen):
+            try:
+                new_learned = new_learned.lub(chosen)
+            except IncompatibleError:
                 raise AssertionError(
                     f"learner {self.pid}: chosen value incompatible with learned "
                     f"({chosen} vs {new_learned})"
-                )
-            new_learned = new_learned.lub(chosen)
+                ) from None
         if new_learned is self.learned:
             return
         if (
@@ -548,6 +663,8 @@ class GenLearner(Process):
         )
         self.learned = new_learned
         self._seen.update(fresh)
+        for unseen in self._vote_unseen.values():
+            unseen.difference_update(fresh)
         for cmd in fresh:
             self.metrics.record_learn(cmd, self.pid, self.now)
         if self.config.send_2b_to_coordinators and fresh:

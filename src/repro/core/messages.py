@@ -81,11 +81,20 @@ class Phase2a:
 
 @dataclass(frozen=True)
 class Phase2b:
-    """⟨2b, i, val⟩ from an acceptor to the learners (and coordinators)."""
+    """⟨2b, i, val⟩ from an acceptor to the learners (and coordinators).
+
+    ``fresh`` is an optional delta hint for generalized c-struct votes: the
+    commands this acceptance added on top of the acceptor's previous vote.
+    Learners use it to update their per-vote frontiers in O(|fresh|) when
+    the sizes line up (no gap since the last received "2b"); it is advisory
+    only -- ``val`` always carries the whole c-struct, so a dropped or
+    reordered message merely costs the receiver a full O(n) rescan.
+    """
 
     rnd: RoundId
     val: Any
     acceptor: Hashable
+    fresh: tuple[Hashable, ...] | None = field(default=None, compare=False)
 
 
 @dataclass(frozen=True)

@@ -93,6 +93,7 @@ class Coordinator(Process):
         self.cval: Hashable | None = None
         self.phase = _CoordPhase.IDLE
         self.pending: list[Hashable] = []
+        self._pending_set: set[Hashable] = set()  # mirror of pending
         self.highest_seen: RoundId = ZERO
         self.collisions_recovered = 0
         self._p1b: dict[RoundId, dict[Hashable, Phase1b]] = {}
@@ -118,7 +119,8 @@ class Coordinator(Process):
     # -- message handlers ------------------------------------------------------
 
     def on_propose(self, msg: Propose, src: Hashable) -> None:
-        if msg.cmd not in self.pending:
+        if msg.cmd not in self._pending_set:
+            self._pending_set.add(msg.cmd)
             self.pending.append(msg.cmd)
         self._try_send_value()
 
@@ -222,6 +224,7 @@ class Acceptor(Process):
         self.vrnd: RoundId = ZERO
         self.vval: Hashable | None = None
         self.pending: list[Hashable] = []
+        self._pending_set: set[Hashable] = set()  # mirror of pending
         self.collisions_detected = 0
         self.accept_log: list[tuple[RoundId, Hashable]] = []  # one disk write each
         self._p2a: dict[RoundId, dict[int, Hashable]] = {}
@@ -318,7 +321,8 @@ class Acceptor(Process):
             self.broadcast(coords, vote)
 
     def on_propose(self, msg: Propose, src: Hashable) -> None:
-        if msg.cmd not in self.pending:
+        if msg.cmd not in self._pending_set:
+            self._pending_set.add(msg.cmd)
             self.pending.append(msg.cmd)
         self._try_fast_accept()
 
@@ -333,6 +337,7 @@ class Acceptor(Process):
         self.vrnd = ZERO
         self.vval = None
         self.pending = []
+        self._pending_set = set()
         self._p2a = {}
         self._any_open = set()
         self._collided = set()

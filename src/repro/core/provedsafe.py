@@ -120,9 +120,20 @@ def proved_safe(
     if len(k_acceptors) < min_inter:
         # QinterRAtk is empty: nothing was or can be chosen at k.
         return [vals[acc] for acc in k_acceptors]
-    subsets: Sequence[tuple] = list(_bounded_combinations(k_acceptors, min_inter, max_enumeration))
-    gamma = [glb_set([vals[acc] for acc in subset]) for subset in subsets]
-    return [lub_set(gamma)]
+    first = vals[k_acceptors[0]]
+    if all(vals[acc] == first for acc in k_acceptors[1:]):
+        # Unanimous k-reports (the steady-state case): every intersection
+        # glb -- and hence their lub -- is the reported value itself; skip
+        # the subset enumeration entirely.
+        return [first]
+    # Fold the lub of the per-intersection glbs with a single running
+    # accumulator; with incremental digraph histories each step reuses the
+    # accumulated constraint graph instead of re-deriving conflict pairs.
+    accumulator: CStruct | None = None
+    for subset in _bounded_combinations(k_acceptors, min_inter, max_enumeration):
+        gamma = glb_set([vals[acc] for acc in subset])
+        accumulator = gamma if accumulator is None else accumulator.lub(gamma)
+    return [accumulator]
 
 
 def _bounded_combinations(items: Sequence, size: int, limit: int):

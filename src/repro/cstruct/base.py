@@ -122,12 +122,23 @@ def lub_set(structs: Sequence[S]) -> S:
 
 
 def is_compatible_set(structs: Sequence[CStruct]) -> bool:
-    """Pairwise compatibility (by CS3 this implies joint compatibility)."""
+    """Whether the collection is (pairwise ⟺ jointly) compatible.
+
+    Accumulates a single running lub instead of the O(k²) pairwise scan:
+    by CS3 a pairwise-compatible set has a joint upper bound, so each
+    prefix lub exists and is below it -- every running check then passes;
+    conversely a successful accumulation exhibits a common upper bound of
+    the whole set, which implies every pairwise check.  O(k) compatibility
+    checks and lubs, each O(conflicts) on command histories.
+    """
     structs = list(structs)
-    for i, a in enumerate(structs):
-        for b in structs[i + 1 :]:
-            if not a.is_compatible(b):
-                return False
+    if len(structs) < 2:
+        return True
+    accumulator = structs[0]
+    for struct in structs[1:]:
+        if not accumulator.is_compatible(struct):
+            return False
+        accumulator = accumulator.lub(struct)
     return True
 
 
@@ -187,10 +198,16 @@ def check_axioms(
                         assert j.leq(w), "CS3: lub is the least upper bound"
 
     # CS3 (third clause): if {u, v, w} is compatible then u and v ⊔ w are.
+    # The premise is an *explicit pairwise* scan: is_compatible_set's
+    # running-lub accumulation relies on exactly this axiom, so using it
+    # here would make the check circular (a violating implementation would
+    # falsify its own premise and never reach the assertion).
     for u in structs:
         for v in structs:
+            if not u.is_compatible(v):
+                continue
             for w in structs:
-                if is_compatible_set([u, v, w]):
+                if u.is_compatible(w) and v.is_compatible(w):
                     assert u.is_compatible(v.lub(w)), "CS3: u compatible with v ⊔ w"
 
     # CS4: compatible c-structs both containing C have C in their glb.

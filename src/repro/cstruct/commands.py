@@ -32,15 +32,79 @@ class Command:
         target = f"({self.key}){suffix}" if self.key else suffix
         return f"{self.op}{target}#{self.cid}"
 
+    def __hash__(self) -> int:
+        # Commands live in the frozensets and dicts of every constraint
+        # digraph; the generated dataclass hash would rebuild and hash the
+        # field tuple on each lookup, which dominates lattice-op profiles.
+        # Cache it once per instance (all fields are immutable).
+        cached = self.__dict__.get("_hash")
+        if cached is None:
+            cached = hash((self.cid, self.op, self.key, self.arg))
+            object.__setattr__(self, "_hash", cached)
+        return cached
+
+    def __eq__(self, other: object) -> bool:
+        # Same semantics as the generated dataclass __eq__, but with
+        # identity and cached-hash prechecks: sequence walks compare many
+        # unequal commands, and an integer compare rejects those without
+        # building field tuples.
+        if self is other:
+            return True
+        if other.__class__ is not Command:
+            return NotImplemented
+        if self.__hash__() != other.__hash__():
+            return False
+        return (self.cid, self.op, self.key, self.arg) == (
+            other.cid, other.op, other.key, other.arg
+        )
+
 
 class ConflictRelation:
-    """Base class for symmetric conflict relations over commands."""
+    """Base class for symmetric conflict relations over commands.
+
+    Subclasses whose :meth:`conflicts` does non-trivial work may opt into a
+    bounded per-relation memo of pair lookups by setting ``cache_limit`` to
+    a positive bound: ``__call__`` then caches ``conflicts(a, b)`` under
+    both argument orders (the relation is symmetric) and clears the memo
+    wholesale when it reaches the bound.  The predicate must be pure --
+    cached relations may never observe a changed answer for a pair.
+    """
+
+    cache_limit: int = 0  # pairs memoized; 0 disables caching
 
     def conflicts(self, a: Command, b: Command) -> bool:
         raise NotImplementedError
 
+    def partition(self, cmd: Command) -> Any | None:
+        """A bucket key such that commands in different buckets never conflict.
+
+        Histories index their commands by bucket so a new command is
+        checked only against its own bucket (O(conflict candidates))
+        instead of the whole history.  ``None`` means "no partition
+        information": every existing command must be checked.  Soundness
+        requirement: ``conflicts(a, b)`` implies
+        ``partition(a) == partition(b)`` (completeness is not required --
+        a bucket may contain non-conflicting commands).
+        """
+        return None
+
     def __call__(self, a: Command, b: Command) -> bool:
-        return self.conflicts(a, b)
+        if not self.cache_limit:
+            return self.conflicts(a, b)
+        cache: dict | None = getattr(self, "_pair_cache", None)
+        if cache is None:
+            cache = {}
+            # Works for frozen-dataclass subclasses too; the memo is not a
+            # dataclass field, so equality and hashing ignore it.
+            object.__setattr__(self, "_pair_cache", cache)
+        answer = cache.get((a, b))
+        if answer is None:
+            answer = self.conflicts(a, b)
+            if len(cache) >= self.cache_limit:
+                cache.clear()
+            cache[(a, b)] = answer
+            cache[(b, a)] = answer
+        return answer
 
 
 @dataclass(frozen=True)
@@ -50,6 +114,9 @@ class AlwaysConflict(ConflictRelation):
     def conflicts(self, a: Command, b: Command) -> bool:
         return a != b
 
+    def partition(self, cmd: Command) -> Any:
+        return ""  # one bucket: everything conflicts with everything
+
 
 @dataclass(frozen=True)
 class NeverConflict(ConflictRelation):
@@ -57,6 +124,9 @@ class NeverConflict(ConflictRelation):
 
     def conflicts(self, a: Command, b: Command) -> bool:
         return False
+
+    def partition(self, cmd: Command) -> Any:
+        return cmd  # every command its own bucket: nothing conflicts
 
 
 @dataclass(frozen=True)
@@ -69,6 +139,7 @@ class KeyConflict(ConflictRelation):
     """
 
     read_ops: FrozenSet[str] = frozenset({"get", "read"})
+    cache_limit = 1 << 16
 
     def conflicts(self, a: Command, b: Command) -> bool:
         if a == b:
@@ -78,6 +149,9 @@ class KeyConflict(ConflictRelation):
         both_reads = a.op in self.read_ops and b.op in self.read_ops
         return not both_reads
 
+    def partition(self, cmd: Command) -> Any:
+        return cmd.key  # conflicts require equal keys
+
 
 @dataclass(frozen=True)
 class CustomConflict(ConflictRelation):
@@ -85,10 +159,12 @@ class CustomConflict(ConflictRelation):
 
     The predicate is symmetrized defensively (``fn(a, b) or fn(b, a)``), so
     callers may pass one-sided definitions.  Equality of two
-    ``CustomConflict`` instances is identity of the predicate.
+    ``CustomConflict`` instances is identity of the predicate.  The
+    predicate must be pure: pair answers are memoized (``cache_limit``).
     """
 
     fn: Callable[[Command, Command], bool] = field(compare=True)
+    cache_limit = 1 << 16
 
     def conflicts(self, a: Command, b: Command) -> bool:
         if a == b:

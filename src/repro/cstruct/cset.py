@@ -56,6 +56,19 @@ class CommandSet(CStruct):
     def command_set(self) -> frozenset[Command]:
         return self.cmds
 
+    def linear_extension(self) -> tuple[Command, ...]:
+        """The base class's deterministic sort, computed once per instance.
+
+        Command sets impose no mutual order, but learners replay the
+        extension on every learn event; caching keeps that O(n) instead of
+        re-sorting (O(n log n) plus a repr per command) each time.
+        """
+        cached = getattr(self, "_linear", None)
+        if cached is None:
+            cached = super().linear_extension()
+            object.__setattr__(self, "_linear", cached)
+        return cached
+
     def __str__(self) -> str:
         if not self.cmds:
             return "⊥"

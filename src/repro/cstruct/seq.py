@@ -61,7 +61,12 @@ class CommandSequence(CStruct):
     def is_compatible(self, other: CStruct) -> bool:
         if not isinstance(other, CommandSequence):
             return False
-        return self.leq(other) or other.leq(self)
+        # One prefix comparison suffices: only the shorter sequence can be
+        # a prefix of the longer (leq in the other direction is impossible).
+        shorter, longer = (
+            (self, other) if len(self.cmds) <= len(other.cmds) else (other, self)
+        )
+        return longer.cmds[: len(shorter.cmds)] == shorter.cmds
 
     def contains(self, cmd: Command) -> bool:
         return cmd in self.cmds

@@ -8,6 +8,7 @@ metric.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
 
 from repro.cstruct.commands import Command
@@ -71,10 +72,27 @@ class Client:
         """Record completion when *replica* executes one of our commands."""
 
         def observer(cmd, result) -> None:
-            if cmd in self.issue_times and cmd not in self.completed:
-                self.completed[cmd] = self.cluster.sim.clock
+            self._note_complete(cmd)
 
         replica.on_execute(observer)
+
+    def watch_learner(self, learner) -> None:
+        """Record completion when *learner* learns one of our commands.
+
+        For generalized-engine learners (``on_learn`` callbacks receiving
+        ``(new_commands, learned)``): completion at learn time, without
+        deploying a replica.
+        """
+
+        def observer(new_cmds, learned) -> None:
+            for cmd in new_cmds:
+                self._note_complete(cmd)
+
+        learner.on_learn(observer)
+
+    def _note_complete(self, cmd) -> None:
+        if cmd in self.issue_times and cmd not in self.completed:
+            self.completed[cmd] = self.cluster.sim.clock
 
     def latency(self, cmd: Command) -> float | None:
         if cmd not in self.completed or cmd not in self.issue_times:
@@ -83,3 +101,53 @@ class Client:
 
     def all_completed(self) -> bool:
         return all(cmd in self.completed for cmd in self.issued)
+
+
+@dataclass
+class PipelinedClient(Client):
+    """A closed-loop client that keeps a window of commands in flight.
+
+    ``submit`` enqueues a backlog of commands; the client immediately
+    issues up to ``window`` of them and replaces each completed command
+    with the next one from the backlog, keeping the pipeline saturated.
+    This is the closed-loop load generator for the batching layer: with a
+    window larger than the proposer's batch size, batches fill on arrival
+    pressure instead of timer flushes, and the generalized engine sees a
+    steady multi-command frontier to merge per round trip.
+
+    Watch a replica (``watch_replica``) or a generalized learner
+    (``watch_learner``) so completions are observed; otherwise the window
+    never refills.
+    """
+
+    window: int = 4
+    backlog: deque = field(default_factory=deque)
+    in_flight: set = field(default_factory=set)
+    peak_in_flight: int = field(default=0)
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.window < 1:
+            raise ValueError("window must be positive")
+
+    def submit(self, cmds, delay: float = 0.0) -> None:
+        """Enqueue *cmds* and start pumping after *delay* time units."""
+        self.backlog.extend(cmds)
+        self.cluster.sim.schedule(delay, self._pump)
+
+    def _pump(self) -> None:
+        while self.backlog and len(self.in_flight) < self.window:
+            cmd = self.backlog.popleft()
+            self.in_flight.add(cmd)
+            self.issue(cmd)
+        self.peak_in_flight = max(self.peak_in_flight, len(self.in_flight))
+
+    def _note_complete(self, cmd) -> None:
+        already = cmd in self.completed
+        super()._note_complete(cmd)
+        if not already and cmd in self.in_flight:
+            self.in_flight.discard(cmd)
+            self._pump()
+
+    def all_completed(self) -> bool:
+        return not self.backlog and not self.in_flight and super().all_completed()
