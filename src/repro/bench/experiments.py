@@ -960,6 +960,123 @@ def experiment_e11(
     return rows
 
 
+# ---------------------------------------------------------------------------
+# E12 -- checkpointing / log truncation: bounded retained state (ROADMAP item)
+# ---------------------------------------------------------------------------
+
+
+def _e12_run(
+    label: str,
+    checkpoint: "CheckpointConfig | None",
+    n_commands: int = 2400,
+    seed: int = 17,
+    crash_learner: bool = False,
+    sample_period: float = 10.0,
+    timeout: float = 100_000.0,
+) -> Row:
+    """One long-run workload; peak retained per-instance state is sampled.
+
+    With ``crash_learner`` the third learner goes down mid-run, the
+    cluster truncates past its durable checkpoint, and the learner is
+    restarted -- it must converge through snapshot install + suffix
+    replay to the identical replica order.
+    """
+    from repro.smr.instances import BatchingConfig, RetransmitConfig, build_smr
+    from repro.smr.machine import KVStore
+    from repro.smr.replica import OrderedReplica
+
+    sim = Simulation(seed=seed, max_events=30_000_000)
+    cluster = build_smr(
+        sim,
+        n_proposers=2,
+        n_coordinators=3,
+        n_acceptors=3,
+        n_learners=3,
+        liveness=LivenessConfig(),
+        batching=BatchingConfig(max_batch=8, flush_interval=1.0, pipeline_depth=8),
+        retransmit=RetransmitConfig(),
+        checkpoint=checkpoint,
+    )
+    cluster.start_round(cluster.config.schedule.make_round(0, 1, 2))
+    replicas = [OrderedReplica(learner, KVStore()) for learner in cluster.learners]
+    workload = Workload.generate(
+        WorkloadConfig(
+            n_commands=n_commands, arrival="burst", burst_size=6, period=1.0, seed=seed
+        )
+    )
+    workload.schedule_on(cluster)
+
+    peaks: dict[str, int] = {}
+
+    def sample() -> None:
+        for key, value in cluster.retained_state().items():
+            peaks[key] = max(peaks.get(key, 0), value)
+        sim.schedule(sample_period, sample)
+
+    sim.schedule(sample_period, sample)
+
+    victim = cluster.learners[2]
+    span = workload.span
+    if crash_learner:
+        sim.schedule(span / 3, victim.crash)
+        sim.schedule(2 * span / 3, victim.recover)
+    all_delivered = cluster.run_until_delivered(workload.commands, timeout=timeout)
+    signatures = {r.order_signature() for r in replicas}
+    stats = cluster.checkpoint_stats() if checkpoint is not None else {}
+    return {
+        "engine": label,
+        "commands": n_commands,
+        "delivered": all_delivered,
+        "orders agree": len(signatures) == 1,
+        "peak acceptor journal": peaks.get("acceptor journal", 0),
+        "peak acceptor votes": peaks.get("acceptor votes", 0),
+        "peak coord decided": peaks.get("coordinator decided", 0),
+        "peak learner decided": peaks.get("learner decided", 0),
+        "snapshots": stats.get("snapshots", 0),
+        "installs": stats.get("installs", 0),
+        "final floor": stats.get("acceptor_floor", 0),
+    }
+
+
+def experiment_e12(
+    n_commands: int = 2400,
+    intervals: tuple[int, ...] = (50, 200),
+    seed: int = 17,
+) -> list[Row]:
+    """Retained state vs checkpoint interval on a multi-thousand-command run.
+
+    The seed engine retains every acceptor vote and decision forever, so
+    its peak per-process journal is O(total commands).  With a
+    ``CheckpointConfig`` the peak must track the checkpoint *window*
+    (interval + in-flight slack) -- flat in the total run length -- and a
+    learner restarted from below the truncation frontier must converge by
+    snapshot install to the identical order (``bench_e12_checkpoint.py``
+    asserts both).
+    """
+    from repro.smr.instances import CheckpointConfig
+
+    rows = [_e12_run("unbounded (no checkpoint)", None, n_commands, seed=seed)]
+    for interval in intervals:
+        rows.append(
+            _e12_run(
+                f"checkpoint every {interval}",
+                CheckpointConfig(interval=interval, gc_quorum=2),
+                n_commands,
+                seed=seed,
+            )
+        )
+    rows.append(
+        _e12_run(
+            f"checkpoint {intervals[0]} + laggard restart",
+            CheckpointConfig(interval=intervals[0], gc_quorum=2, chunk_size=128),
+            n_commands,
+            seed=seed,
+            crash_learner=True,
+        )
+    )
+    return rows
+
+
 ALL_EXPERIMENTS: dict[str, Callable[[], list[Row]]] = {
     "E1 latency (steps)": experiment_e1,
     "E2 quorum sizes": experiment_e2,
@@ -973,4 +1090,5 @@ ALL_EXPERIMENTS: dict[str, Callable[[], list[Row]]] = {
     "E9 batching": experiment_e9,
     "E10 loss liveness": experiment_e10,
     "E11 lattice scaling": experiment_e11,
+    "E12 checkpointing": experiment_e12,
 }

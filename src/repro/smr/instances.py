@@ -100,6 +100,71 @@ Knobs (:class:`RetransmitConfig`): ``retry_interval``/``backoff``/
 (learner gap-poll period), ``max_resend`` (per-message payload bound).
 With ``retransmit=None`` (the default) the engine behaves exactly as
 before: live on reliable networks, reliant on round changes under loss.
+
+Checkpointing and log truncation
+--------------------------------
+
+The paper's protocols (and the engine above) keep the full decided
+history: acceptor votes, coordinator decision maps and learner logs grow
+with every command ever run.  Passing a :class:`CheckpointConfig` to
+:func:`build_smr` bounds all of it by a sliding window:
+
+* **Snapshots at the delivery frontier** -- each learner, every
+  ``interval`` delivered instances (or ``interval_bytes`` of decided
+  payload), captures its replica's :meth:`StateMachine.snapshot` together
+  with the delivered command sequence, journals the checkpoint in its
+  stable storage (one overwritten key: checkpoints compact, they do not
+  accumulate), and advertises the snapshot frontier to every coordinator,
+  acceptor and peer learner (``ICheckpoint``, re-advertised periodically
+  so a lost advertisement only delays garbage collection).
+* **Collective safe frontier** -- every process folds the advertised
+  frontiers into one GC bound: with ``gc_quorum=None`` the minimum over
+  *all* learners (nothing is dropped that any learner still lacks); with
+  ``gc_quorum=k`` the k-th highest frontier -- at least ``k`` learners
+  hold a durable checkpoint at or above the bound, so a laggard below it
+  recovers by snapshot install instead of log replay, and a crashed
+  learner cannot pin the cluster's memory forever.
+* **Garbage collection below the frontier** -- acceptors drop in-memory
+  votes and truncate their vote journal
+  (:meth:`StableStorage.truncate_below`, durable floor included);
+  coordinators retire ``decided``/``_sent``/``assigned``/vote buffers and
+  the per-value dedup indexes; learners truncate their decided log below
+  their own checkpoint; proposers retire unacked values once the
+  collective frontier passes the value's decided instance (reported in
+  the learners' acks) -- past that point every policy-quorum checkpoint
+  contains the value, so state transfer, not retransmission, covers any
+  remaining laggard.
+* **Two-tier catch-up** -- a gap *above* the truncation floor is answered
+  from the log exactly as before (acceptor re-``I2b``, peer ``IDecided``).
+  A request *below* the floor is answered with ``ITruncated`` (acceptors:
+  the log horizon moved) or ``ISnapshotOffer`` (peer learners: install my
+  checkpoint instead); the laggard then pulls the checkpoint in
+  ``chunk_size``-command chunks (``ISnapshotRequest``/``ISnapshotChunk``),
+  re-requesting only missing chunks on its catch-up tick (resumable under
+  loss), installs it -- machine state, executed sequence, delivery
+  frontier -- and resumes ordinary log replay above the frontier.
+* **Crash-recovery from the local checkpoint** -- a recovering learner
+  restores its own journalled snapshot and replays only the suffix above
+  it (via the ordinary catch-up path) instead of replaying the full
+  history; a recovering acceptor reloads only the untruncated vote
+  journal suffix plus its durable floor.
+
+Safety note: retiring the coordinators' value-level dedup indexes below
+the frontier means a command retransmitted long after its decision was
+garbage-collected can be decided *again* in a fresh instance.  Learners
+deduplicate execution (their delivered set rides inside every
+checkpoint), so replicas still apply each command once -- this is the
+standard production trade: the truncation window must outlast the
+retransmission horizon, and anything older is deduplicated at the
+application layer (our delivered-set is the client-session-table
+analogue).
+
+Knobs (:class:`CheckpointConfig`): ``interval`` (instances per
+checkpoint), ``interval_bytes`` (optional payload-size trigger),
+``gc_quorum`` (collective-frontier policy), ``chunk_size`` (snapshot
+transfer granularity), ``advertise_interval`` (frontier re-announce
+period).  With ``checkpoint=None`` (the default) nothing is ever
+truncated -- the pre-checkpoint behaviour.
 """
 
 from __future__ import annotations
@@ -146,15 +211,35 @@ class BatchingConfig:
 
     Attributes:
         max_batch: Commands per batch; reaching it flushes immediately.
+            With ``adaptive`` on, this is the *cap* of the adaptive size.
         flush_interval: Virtual-time deadline after the first buffered
             command at which a partial batch is flushed anyway.
         pipeline_depth: Maximum self-assigned in-flight (undecided)
-            instances per coordinator.
+            instances per coordinator, counting *fresh* proposals only.
+        retry_lane: Reserved in-flight slots for retried proposals (and
+            requeued race losers).  Retries never compete with fresh
+            batches for ``pipeline_depth`` slots -- under loss the
+            recovery traffic drains through its own lane instead of
+            collapsing fresh throughput (total in-flight is bounded by
+            ``pipeline_depth + retry_lane``).
+        adaptive: Size batches from the observed arrival rate instead of
+            always waiting for ``max_batch`` commands: an EWMA of the
+            proposer's inter-arrival time estimates how many commands one
+            ``flush_interval`` will see, and the batch ships at that size
+            (clamped to [``min_batch``, ``max_batch``]).  Sparse traffic
+            ships small batches immediately (latency); dense traffic
+            fills up to the cap (throughput).
+        ewma_alpha: Smoothing factor of the inter-arrival EWMA in (0, 1].
+        min_batch: Lower clamp of the adaptive batch size.
     """
 
     max_batch: int = 8
     flush_interval: float = 2.0
     pipeline_depth: int = 4
+    retry_lane: int = 2
+    adaptive: bool = False
+    ewma_alpha: float = 0.25
+    min_batch: int = 1
 
     def __post_init__(self) -> None:
         if self.max_batch < 1:
@@ -163,6 +248,12 @@ class BatchingConfig:
             raise ValueError("flush_interval must be positive")
         if self.pipeline_depth < 1:
             raise ValueError("pipeline_depth must be at least 1")
+        if self.retry_lane < 1:
+            raise ValueError("retry_lane must be at least 1")
+        if not 0.0 < self.ewma_alpha <= 1.0:
+            raise ValueError("ewma_alpha must be in (0, 1]")
+        if not 1 <= self.min_batch <= self.max_batch:
+            raise ValueError("min_batch must be in [1, max_batch]")
 
 
 @dataclass
@@ -203,6 +294,87 @@ class RetransmitConfig:
             raise ValueError("max_resend must be at least 1")
 
 
+@dataclass
+class CheckpointConfig:
+    """Checkpointing / log-truncation knobs (see the module docstring).
+
+    Attributes:
+        interval: Delivered instances between learner checkpoints.
+        interval_bytes: Optional alternative trigger -- checkpoint when
+            the decided payload since the last checkpoint exceeds this
+            many (approximate, ``repr``-sized) bytes, even if fewer than
+            ``interval`` instances were delivered.
+        gc_quorum: Collective-safe-frontier policy.  ``None``: truncate
+            below the *minimum* advertised frontier over all learners
+            (per-replica policy -- nothing a live learner still lacks is
+            dropped, but one dead learner halts GC).  ``k``: truncate
+            below the k-th highest frontier (quorum-of-replicas policy --
+            at least ``k`` learners hold a durable checkpoint covering
+            the dropped range, and laggards below it are recovered by
+            snapshot install).
+        chunk_size: Commands per ``ISnapshotChunk`` during state transfer.
+        advertise_interval: Period of the learners' frontier re-announce
+            tick (heals lost ``ICheckpoint`` messages; also lets a
+            restarted laggard discover how far behind it is without any
+            new client traffic).
+    """
+
+    interval: int = 32
+    interval_bytes: int | None = None
+    gc_quorum: int | None = None
+    chunk_size: int = 64
+    advertise_interval: float = 8.0
+
+    def __post_init__(self) -> None:
+        if self.interval < 1:
+            raise ValueError("interval must be at least 1")
+        if self.interval_bytes is not None and self.interval_bytes < 1:
+            raise ValueError("interval_bytes must be at least 1")
+        if self.gc_quorum is not None and self.gc_quorum < 1:
+            raise ValueError("gc_quorum must be at least 1")
+        if self.chunk_size < 1:
+            raise ValueError("chunk_size must be at least 1")
+        if self.advertise_interval <= 0:
+            raise ValueError("advertise_interval must be positive")
+
+
+class FrontierTracker:
+    """Folds advertised snapshot frontiers into the collective GC bound.
+
+    ``safe_bound()`` is the largest instance such that the checkpoint
+    policy guarantees every truncated record is covered by a durable
+    checkpoint: the minimum advertised frontier (``quorum=None``) or the
+    k-th highest (``quorum=k``).  Unheard-from learners count as frontier
+    0, so the bound can only advance on positive evidence; it is monotone
+    because advertised frontiers are.
+    """
+
+    def __init__(self, learners, quorum: int | None) -> None:
+        self._frontiers: dict[Hashable, int] = {pid: 0 for pid in learners}
+        self._quorum = quorum
+
+    @classmethod
+    def from_config(cls, config: "InstancesConfig") -> "FrontierTracker | None":
+        """The tracker a process needs under *config* (None: no checkpointing)."""
+        if config.checkpoint is None:
+            return None
+        return cls(config.topology.learners, config.checkpoint.gc_quorum)
+
+    def update(self, src: Hashable, frontier: int) -> None:
+        if src in self._frontiers and frontier > self._frontiers[src]:
+            self._frontiers[src] = frontier
+
+    def frontier_of(self, src: Hashable) -> int:
+        return self._frontiers.get(src, 0)
+
+    def safe_bound(self) -> int:
+        fronts = sorted(self._frontiers.values(), reverse=True)
+        if not fronts:
+            return 0
+        k = len(fronts) if self._quorum is None else min(self._quorum, len(fronts))
+        return fronts[k - 1]
+
+
 # -- messages -----------------------------------------------------------------
 
 
@@ -211,6 +383,10 @@ class IPropose:
     cmd: Hashable
     coord_quorum: frozenset[int] | None = None
     acceptor_quorum: frozenset[str] | None = None
+    # True for a retransmission (proposer backoff timer or crash-recovery
+    # re-ship): coordinators serve retries from the reserved retry lane so
+    # recovery traffic never starves fresh proposals of pipeline slots.
+    retry: bool = False
 
 
 @dataclass(frozen=True)
@@ -223,6 +399,12 @@ class I1b:
     rnd: RoundId
     acceptor: str
     votes: tuple[tuple[int, RoundId, Hashable], ...]  # (instance, vrnd, vval)
+    # The acceptor's vote-journal truncation floor.  Phase 1's no-op
+    # hole-closing rule ("no replier voted => nothing chosen") is only
+    # sound where vote absence means *never voted*; below the floor it
+    # can mean *voted, then truncated*, so the coordinator must start
+    # hole-closing above every replier's floor.
+    floor: int = 0
 
 
 @dataclass(frozen=True)
@@ -254,9 +436,17 @@ class INack:
 
 @dataclass(frozen=True)
 class IAck:
-    """Learner -> proposers: *value* was decided (delivery confirmed)."""
+    """Learner -> proposers: *value* was decided (delivery confirmed).
+
+    ``instance`` is the decided instance the learner observed (-1 when
+    unknown, e.g. a re-ack for a truncated instance): it lets proposers
+    judge when the collective checkpoint frontier has passed the value,
+    at which point state transfer -- not retransmission -- covers any
+    remaining laggard and the unacked buffer entry can be retired.
+    """
 
     value: Hashable
+    instance: int = -1
 
 
 @dataclass(frozen=True)
@@ -288,6 +478,69 @@ class ICatchUp:
     instances: tuple[int, ...]
 
 
+@dataclass(frozen=True)
+class ICheckpoint:
+    """Learner -> everyone: I hold a durable checkpoint at *frontier*.
+
+    Every instance below *frontier* is applied in the sender's snapshot;
+    receivers fold the advertisement into their collective safe frontier
+    and garbage-collect below it (per the :class:`CheckpointConfig`
+    policy).
+    """
+
+    frontier: int
+
+
+@dataclass(frozen=True)
+class ITruncated:
+    """The sender's log was truncated below *floor*.
+
+    Answers requests (catch-up, stale 2as) for instances the sender has
+    garbage-collected.  Safe to trust like ``IDecided``: the sender's
+    floor was derived from checkpoint advertisements, i.e. every instance
+    below it is decided and covered by a durable checkpoint somewhere.
+    Learners react by requesting snapshot install; coordinators adopt the
+    floor and retire their own sub-floor state.
+    """
+
+    floor: int
+
+
+@dataclass(frozen=True)
+class ISnapshotOffer:
+    """Peer learner -> laggard: install my checkpoint at *frontier*."""
+
+    frontier: int
+
+
+@dataclass(frozen=True)
+class ISnapshotRequest:
+    """Laggard -> checkpoint owner: send snapshot chunks.
+
+    ``chunks=None`` requests the full transfer; a tuple re-requests only
+    the listed chunk sequence numbers (the resumable path after loss).
+    """
+
+    frontier: int
+    chunks: tuple[int, ...] | None = None
+
+
+@dataclass(frozen=True)
+class ISnapshotChunk:
+    """One chunk of a checkpoint transfer.
+
+    Chunk 0 carries the machine state (the header); every chunk carries a
+    slice of the checkpoint's delivered command sequence plus the total
+    chunk count, so assembly is order-independent and resumable.
+    """
+
+    frontier: int
+    seq: int
+    total: int
+    payload: tuple
+    machine: Hashable | None = None
+
+
 @dataclass
 class InstancesConfig:
     topology: Topology
@@ -296,6 +549,28 @@ class InstancesConfig:
     liveness: LivenessConfig | None = None
     batching: BatchingConfig | None = None
     retransmit: RetransmitConfig | None = None
+    checkpoint: CheckpointConfig | None = None
+
+    def __post_init__(self) -> None:
+        if self.checkpoint is not None and self.retransmit is None:
+            # Truncation makes the engine depend on the reliability
+            # layer: once a vote journal is compacted, any missed message
+            # can only be healed by catch-up (ICatchUp/ITruncated/
+            # snapshot install), and those re-drivers live behind
+            # RetransmitConfig.  Checkpointing without them would
+            # garbage-collect state that nothing can re-deliver.
+            raise ValueError("checkpoint requires retransmit (the catch-up layer)")
+        if (
+            self.checkpoint is not None
+            and self.checkpoint.gc_quorum is not None
+            and self.checkpoint.gc_quorum > len(self.topology.learners)
+        ):
+            # Silently clamping would truncate with fewer durable
+            # checkpoint copies than the operator's policy promised.
+            raise ValueError(
+                f"gc_quorum {self.checkpoint.gc_quorum} exceeds the"
+                f" {len(self.topology.learners)} learners"
+            )
 
 
 @dataclass
@@ -306,6 +581,11 @@ class _RetryState:
     interval: float
     acked: set = field(default_factory=set)
     attempts: int = 0
+    # Lowest decided instance reported by any ack (-1: none yet).  Once
+    # the collective checkpoint frontier passes it, every checkpoint at
+    # the GC quorum contains the value -- laggards are served by snapshot
+    # install and retransmission can stop.
+    instance: int = -1
 
 
 class SMRProposer(Process):
@@ -332,6 +612,36 @@ class SMRProposer(Process):
         self._buffer: list[Hashable] = []
         self._flush_timer = None
         self._unacked: dict[Hashable, _RetryState] = {}
+        self._arrival_ewma: float | None = None  # smoothed inter-arrival time
+        self._last_arrival: float | None = None
+        self._tracker = FrontierTracker.from_config(config)
+
+    def target_batch(self) -> int:
+        """The current batch-size trigger (adaptive or static).
+
+        With adaptive sizing the EWMA of inter-arrival time estimates how
+        many commands arrive within one ``flush_interval``; the batch
+        ships at that size so sparse traffic is not held hostage to a cap
+        it will never reach, while dense traffic still fills ``max_batch``.
+        """
+        batching = self.config.batching
+        if batching is None:
+            return 1
+        if not batching.adaptive or not self._arrival_ewma:
+            return batching.max_batch
+        expected = int(batching.flush_interval / self._arrival_ewma)
+        return max(batching.min_batch, min(batching.max_batch, expected))
+
+    def _note_arrival(self) -> None:
+        now = self.now
+        if self._last_arrival is not None:
+            delta = now - self._last_arrival
+            alpha = self.config.batching.ewma_alpha
+            if self._arrival_ewma is None:
+                self._arrival_ewma = delta
+            else:
+                self._arrival_ewma = alpha * delta + (1 - alpha) * self._arrival_ewma
+        self._last_arrival = now
 
     def propose(self, cmd: Hashable) -> None:
         if not self.alive:
@@ -345,12 +655,14 @@ class SMRProposer(Process):
         if batching is None:
             self._ship(cmd)
             return
+        if batching.adaptive:
+            self._note_arrival()
         self._buffer.append(cmd)
         # Journal the buffer: unlike the unbatched engine, buffered commands
         # have not reached any coordinator yet, so a proposer crash would
         # otherwise lose them beyond the reach of the liveness machinery.
         self.storage.write("batch_buffer", tuple(self._buffer))
-        if len(self._buffer) >= batching.max_batch:
+        if len(self._buffer) >= self.target_batch():
             self.flush()
         elif self._flush_timer is None:
             self._flush_timer = self.set_timer(batching.flush_interval, self.flush)
@@ -397,25 +709,61 @@ class SMRProposer(Process):
         # keeps being offered without flooding the network meanwhile.
         state.interval = min(state.interval * retransmit.backoff, retransmit.max_interval)
         state.timer = self.set_timer(state.interval, lambda: self._retry(value))
-        self._forward(value)
+        self._forward(value, retry=True)
 
     def on_iack(self, msg: IAck, src: Hashable) -> None:
         state = self._unacked.get(msg.value)
         if state is None:
             return
         state.acked.add(src)
-        # Retire only once every learner confirmed: retransmission is the
-        # re-driver for learners that missed the decision entirely.
-        if len(state.acked) >= len(self.config.topology.learners):
+        if msg.instance >= 0:
+            state.instance = (
+                msg.instance
+                if state.instance < 0
+                else min(state.instance, msg.instance)
+            )
+        if self._maybe_retire(msg.value):
+            self._journal_unacked()
+
+    def _maybe_retire(self, value: Hashable) -> bool:
+        """Retire *value*'s retransmission once no learner can need it.
+
+        Two sufficient conditions: every learner acked (retransmission
+        drove them all, the PR-2 rule), or the collective checkpoint
+        frontier passed the value's decided instance -- then every
+        durable checkpoint at the GC quorum contains the value, any
+        learner still lacking it recovers by snapshot install, and
+        retrying on its behalf is wasted traffic that would pin the
+        buffer for as long as the learner is down.  Returns whether the
+        value was retired; the caller journals the shrunken buffer (so a
+        batch of retirements costs one disk write, not one per value).
+        """
+        state = self._unacked.get(value)
+        if state is None:
+            return False
+        retired = len(state.acked) >= len(self.config.topology.learners)
+        if not retired and self._tracker is not None and state.instance >= 0:
+            retired = self._tracker.safe_bound() > state.instance
+        if retired:
             if state.timer is not None:
                 self.drop_timer(state.timer)
-            del self._unacked[msg.value]
+            del self._unacked[value]
+        return retired
+
+    def on_icheckpoint(self, msg: ICheckpoint, src: Hashable) -> None:
+        if self._tracker is None:
+            return
+        self._tracker.update(src, msg.frontier)
+        any_retired = False
+        for value in list(self._unacked):
+            any_retired |= self._maybe_retire(value)
+        if any_retired:
             self._journal_unacked()
 
     def _journal_unacked(self) -> None:
         self.storage.write("unacked", tuple(self._unacked))
 
-    def _forward(self, value: Hashable) -> None:
+    def _forward(self, value: Hashable, retry: bool = False) -> None:
         coord_quorum = None
         acceptor_quorum = None
         if self.balance_load:
@@ -426,7 +774,7 @@ class SMRProposer(Process):
             acceptor_quorum = frozenset(
                 rng.sample(accs, self.config.quorums.classic_quorum_size)
             )
-        msg = IPropose(value, coord_quorum, acceptor_quorum)
+        msg = IPropose(value, coord_quorum, acceptor_quorum, retry=retry)
         # Every coordinator hears the proposal (the leader needs it for
         # stuck detection); only the chosen quorum forwards it, so the
         # per-command forwarding load stays balanced (Section 4.1).
@@ -436,14 +784,18 @@ class SMRProposer(Process):
         self._buffer = []
         self._flush_timer = None
         self._unacked = {}
+        self._arrival_ewma = None
+        self._last_arrival = None
+        self._tracker = FrontierTracker.from_config(self.config)
 
     def on_recover(self) -> None:
-        # Unacked values first (they were already in flight), then the
-        # buffered partial batch.  The rebuilt buffer equals the journal
-        # that was just read, so no re-journalling is needed.
+        # Unacked values first (they were already in flight, so the
+        # re-ship is a retry), then the buffered partial batch.  The
+        # rebuilt buffer equals the journal that was just read, so no
+        # re-journalling is needed.
         for value in self.storage.read("unacked", ()):
             if self._register_unacked(value):
-                self._forward(value)
+                self._forward(value, retry=True)
         buffered = self.storage.read("batch_buffer", ())
         if buffered:
             self._buffer = list(buffered)
@@ -463,8 +815,16 @@ class SMRCoordinator(Process):
         self.phase1_done = False
         self.next_instance = 0
         self.pending: list[IPropose] = []
+        # Priority lane: retried proposals and requeued race losers.  They
+        # are recovery traffic -- served first and from their own reserved
+        # pipeline slots (BatchingConfig.retry_lane), so a loss storm
+        # cannot collapse fresh throughput and fresh bursts cannot starve
+        # recovery.
+        self.pending_retry: list[IPropose] = []
         self.assigned: dict[int, IPropose] = {}  # instance -> proposal in flight
+        self._retry_inflight: set[int] = set()  # assigned via the retry lane
         self.decided: dict[int, Hashable] = {}
+        self.gc_floor = 0  # all per-instance state below is garbage-collected
         self.highest_seen: RoundId = ZERO
         self.reassignments = 0
         self._sent: dict[int, Hashable] = {}  # undecided instance -> 2a value
@@ -486,6 +846,7 @@ class SMRCoordinator(Process):
         self._last_round_change = 0.0
         self.gossip_sent = 0
         self.reannounced_2a = 0
+        self._tracker = FrontierTracker.from_config(config)
         if config.liveness is not None:
             peers = list(enumerate(config.topology.coordinators))
             self._fd = FailureDetector(
@@ -511,16 +872,18 @@ class SMRCoordinator(Process):
     def _adopt(self, rnd: RoundId) -> None:
         self.crnd = rnd
         self.phase1_done = False
-        # In-flight commands of the previous round are re-driven here.
+        # In-flight commands of the previous round are re-driven here --
+        # through the retry lane: they are recovery traffic, not fresh.
         for proposal in self.assigned.values():
             if (
                 proposal.cmd not in self._decided_values
                 and proposal.cmd not in self._pending_cmds
             ):
-                self.pending.append(proposal)
+                self.pending_retry.append(proposal)
                 self._pending_cmds.add(proposal.cmd)
         self.assigned = {}
         self._assigned_cmds = set()
+        self._retry_inflight = set()
         self._sent = {}
         self._sent_values = {}
         self._owners = {}
@@ -556,8 +919,22 @@ class SMRCoordinator(Process):
         multicoordinated round can leave *different* values accepted by
         different (non-quorum) acceptor subsets after an instance race, so
         the naive "value of the highest vrnd" rule would be unsafe here.
+
+        With log truncation, vote *absence* is no longer evidence below a
+        replier's journal floor (the vote may have been truncated after a
+        decision, not never cast), so hole-closing starts above the
+        highest replier floor.  Safe in both directions: a floor is
+        derived from checkpoint advertisements (everything below it is
+        decided and checkpoint-covered -- nothing there needs closing),
+        and above every replier floor a quorum member that voted in a
+        lower-round decision still reports that vote, restoring the
+        "no replier voted => nothing chosen" invariant.
         """
         self.phase1_done = True
+        replier_floor = max((reply.floor for reply in replies.values()), default=0)
+        # drain=False: draining mid-phase-1 would assign fresh instances
+        # that the hole-closing loop below would then double-propose.
+        self._apply_gc(replier_floor, drain=False)
         votes_by_instance: dict[int, list[tuple[RoundId, Hashable]]] = {}
         for reply in replies.values():
             for instance, vrnd, vval in reply.votes:
@@ -571,11 +948,13 @@ class SMRCoordinator(Process):
         # undecided holes are closed with no-ops (nothing can be chosen at
         # a lower round for an instance no phase-1 replier voted in, since
         # the repliers' quorum intersects every quorum of lower rounds).
+        # Instances below the GC floor are decided and checkpointed; they
+        # need no closing (and the acceptors truncated their votes anyway).
         top = max(
             [self.next_instance - 1, *votes_by_instance, *self.decided],
             default=-1,
         )
-        for instance in range(top + 1):
+        for instance in range(self.gc_floor, top + 1):
             if instance in self.decided:
                 continue
             value = self._pick_for_instance(
@@ -626,7 +1005,10 @@ class SMRCoordinator(Process):
             return
         if msg.cmd in self._pending_cmds or msg.cmd in self._assigned_cmds:
             return
-        self.pending.append(msg)
+        if msg.retry:
+            self.pending_retry.append(msg)
+        else:
+            self.pending.append(msg)
         self._pending_cmds.add(msg.cmd)
         self._drain()
 
@@ -637,21 +1019,41 @@ class SMRCoordinator(Process):
             return
         batching = self.config.batching
         window = batching.pipeline_depth if batching is not None else None
+        retry_window = batching.retry_lane if batching is not None else None
+        # Retry lane first (priority): recovery traffic uses its reserved
+        # slots and never counts against the fresh window below.
+        while self.pending_retry:
+            if (
+                retry_window is not None
+                and len(self._retry_inflight) >= retry_window
+            ):
+                break  # retry lane full; refilled on the next decision
+            proposal = self.pending_retry.pop(0)
+            self._pending_cmds.discard(proposal.cmd)
+            if self._already_driving(proposal.cmd):
+                continue
+            instance = self.next_instance
+            self.next_instance += 1
+            self._retry_inflight.add(instance)
+            self._send_2a(instance, proposal.cmd, proposal)
         while self.pending:
-            if window is not None and len(self.assigned) >= window:
+            fresh_inflight = len(self.assigned) - len(self._retry_inflight)
+            if window is not None and fresh_inflight >= window:
                 return  # pipeline full; refilled on the next decision
             proposal = self.pending.pop(0)
             self._pending_cmds.discard(proposal.cmd)
-            already_driving = (
-                proposal.cmd in self._decided_values
-                or proposal.cmd in self._sent_values
-                or proposal.cmd in self._assigned_cmds
-            )
-            if already_driving:
+            if self._already_driving(proposal.cmd):
                 continue
             instance = self.next_instance
             self.next_instance += 1
             self._send_2a(instance, proposal.cmd, proposal)
+
+    def _already_driving(self, cmd: Hashable) -> bool:
+        return (
+            cmd in self._decided_values
+            or cmd in self._sent_values
+            or cmd in self._assigned_cmds
+        )
 
     def _note_sent(self, instance: int, value: Hashable) -> None:
         self._sent[instance] = value
@@ -710,6 +1112,13 @@ class SMRCoordinator(Process):
             return
         instance = msg.instance
         self.next_instance = max(self.next_instance, instance + 1)
+        if instance < self.gc_floor:
+            # Below the collective checkpoint frontier: decided, applied
+            # and garbage-collected.  A re-announcing peer stuck there
+            # missed the frontier advertisements; the floor unsticks it.
+            if self.config.retransmit is not None and msg.reannounce:
+                self.send(src, ITruncated(self.gc_floor))
+            return
         if instance in self.decided:
             # Already chosen (our 2a bookkeeping was retired).  Only a
             # *re-announced* 2a signals a peer stuck on the instance and
@@ -727,15 +1136,20 @@ class SMRCoordinator(Process):
             self.config.topology.acceptors,
             I2a(self.crnd, instance, msg.val, self.index),
         )
-        # Drop the command from our queue if a peer is already driving it.
+        # Drop the command from our queues if a peer is already driving it.
         if msg.val in self._pending_cmds:
             self.pending = [p for p in self.pending if p.cmd != msg.val]
+            self.pending_retry = [
+                p for p in self.pending_retry if p.cmd != msg.val
+            ]
             self._pending_cmds.discard(msg.val)
 
     # -- decision monitoring and instance-race reassignment (Section 4.2) --------------
 
     def on_i2b(self, msg: I2b, src: Hashable) -> None:
         self.highest_seen = max(self.highest_seen, msg.rnd)
+        if msg.instance < self.gc_floor:
+            return  # below the checkpoint frontier: settled and collected
         if msg.instance in self.decided:
             return  # late/duplicate votes for a settled instance
         votes = self._p2b.setdefault(msg.instance, {}).setdefault(msg.rnd, {})
@@ -755,7 +1169,7 @@ class SMRCoordinator(Process):
         stay shadowed by its own stale ``_sent`` entry until the next
         round change).
         """
-        if instance in self.decided:
+        if instance in self.decided or instance < self.gc_floor:
             return
         self.decided[instance] = val
         self._decided_values.setdefault(val, instance)
@@ -771,17 +1185,19 @@ class SMRCoordinator(Process):
         self._hole_seen.pop(instance, None)
         self._owners.pop(instance, None)
         self._retire_sent(instance)
+        self._retry_inflight.discard(instance)
         proposal = self.assigned.pop(instance, None)
         if proposal is not None:
             self._assigned_cmds.discard(proposal.cmd)
         if proposal is not None and proposal.cmd != val:
-            # We lost the race for this instance; requeue our command.
+            # We lost the race for this instance; requeue our command
+            # through the priority lane (it is recovery traffic now).
             self.reassignments += 1
             if (
                 proposal.cmd not in self._decided_values
                 and proposal.cmd not in self._pending_cmds
             ):
-                self.pending.append(proposal)
+                self.pending_retry.append(proposal)
                 self._pending_cmds.add(proposal.cmd)
                 self._drain()
         if self.config.batching is not None:
@@ -895,6 +1311,73 @@ class SMRCoordinator(Process):
             if value is not None:
                 self.send(src, IDecided(instance, value))
 
+    # -- checkpointing / garbage collection ---------------------------------------------
+
+    def on_icheckpoint(self, msg: ICheckpoint, src: Hashable) -> None:
+        if self._tracker is None:
+            return
+        self._tracker.update(src, msg.frontier)
+        self._apply_gc(self._tracker.safe_bound())
+
+    def on_itruncated(self, msg: ITruncated, src: Hashable) -> None:
+        # An acceptor (or peer coordinator) already collected below its
+        # floor: everything there is decided and checkpointed.  Adopt the
+        # floor -- it may run ahead of our own tracker if we missed
+        # ICheckpoint advertisements.
+        self._apply_gc(msg.floor)
+
+    def _apply_gc(self, bound: int, drain: bool = True) -> None:
+        """Retire every per-instance record below *bound*.
+
+        *bound* is the collective safe frontier: every instance below it
+        is decided and covered by a durable checkpoint at the policy
+        quorum of learners.  The value-level dedup indexes
+        (``_decided_values``/``_served``) are pruned with their instance:
+        a command retransmitted from beyond the checkpoint window may be
+        decided again in a fresh instance, which learners deduplicate
+        (see the module docstring's safety note).
+        """
+        if self._tracker is None or bound <= self.gc_floor:
+            return
+        self.gc_floor = bound
+        # Journal the floor: a crash-recovered coordinator must not treat
+        # the truncated prefix [0, floor) as unserved holes -- its phase 1
+        # would otherwise re-flood O(history) no-op 2as that the acceptors
+        # can only answer with ITruncated.
+        self.storage.write("gc_floor", bound)
+        for instance in [i for i in self.decided if i < bound]:
+            val = self.decided.pop(instance)
+            if self._decided_values.get(val) == instance:
+                del self._decided_values[val]
+                self._served.discard(val)
+        for instance in [i for i in self._sent if i < bound]:
+            self._retire_sent(instance)
+        for instance in [i for i in self._p2b if i < bound]:
+            del self._p2b[instance]
+        for instance in [i for i in self._owners if i < bound]:
+            del self._owners[instance]
+        for instance in [i for i in self._hole_seen if i < bound]:
+            del self._hole_seen[instance]
+        self._retry_inflight = {i for i in self._retry_inflight if i >= bound}
+        for instance in [i for i in self.assigned if i < bound]:
+            proposal = self.assigned.pop(instance)
+            self._assigned_cmds.discard(proposal.cmd)
+            # The instance was decided (it is below a delivery frontier);
+            # if our command lost the race and we never saw the decision,
+            # re-drive it -- a duplicate decision is deduplicated at the
+            # learners, a lost command would be lost forever.
+            if (
+                proposal.cmd not in self._decided_values
+                and proposal.cmd not in self._pending_cmds
+            ):
+                self.pending_retry.append(proposal)
+                self._pending_cmds.add(proposal.cmd)
+        self._decided_frontier = max(self._decided_frontier, bound)
+        self._top_decided = max(self._top_decided, bound - 1)
+        self.next_instance = max(self.next_instance, bound)
+        if drain:
+            self._drain()
+
     # -- liveness -----------------------------------------------------------------------
 
     def _progress_check(self) -> None:
@@ -939,7 +1422,8 @@ class SMRCoordinator(Process):
         self.start_round(rnd)
         for cmd in aged:
             if cmd not in self._pending_cmds:
-                self.pending.append(IPropose(cmd))
+                # Stuck commands are recovery traffic: priority lane.
+                self.pending_retry.append(IPropose(cmd, retry=True))
                 self._pending_cmds.add(cmd)
 
     # -- crash-recovery -----------------------------------------------------------------
@@ -948,8 +1432,12 @@ class SMRCoordinator(Process):
         self.crnd = ZERO
         self.phase1_done = False
         self.pending = []
+        self.pending_retry = []
         self.assigned = {}
+        self._retry_inflight = set()
         self.decided = {}
+        self.gc_floor = 0
+        self._tracker = FrontierTracker.from_config(self.config)
         self._sent = {}
         self._owners = {}
         self._pending_cmds = set()
@@ -971,6 +1459,15 @@ class SMRCoordinator(Process):
         # aging clock is conservative across the outage.
         for command in self.storage.read("observed", ()):
             self._observed.setdefault(command, self.now)
+        # Reload the GC floor: everything below it was decided and
+        # checkpointed before the crash (monotone evidence), so phase 1
+        # must not re-open it as holes.
+        floor = self.storage.read("gc_floor", 0)
+        if floor > 0:
+            self.gc_floor = floor
+            self._decided_frontier = max(self._decided_frontier, floor)
+            self._top_decided = max(self._top_decided, floor - 1)
+            self.next_instance = max(self.next_instance, floor)
         if self._fd is not None:
             self._fd.start()
         if self.config.retransmit is not None:
@@ -989,8 +1486,10 @@ class SMRAcceptor(Process):
         self.votes: dict[int, tuple[RoundId, Hashable]] = {}
         self.commands_accepted = 0
         self.collisions_detected = 0
+        self.gc_floor = 0  # votes below are checkpointed and truncated
         self._p2a: dict[tuple[int, RoundId], dict[int, Hashable]] = {}
         self._collided: set[tuple[int, RoundId]] = set()
+        self._tracker = FrontierTracker.from_config(config)
 
     def on_i1a(self, msg: I1a, src: Hashable) -> None:
         if msg.rnd <= self.rnd:
@@ -1006,11 +1505,17 @@ class SMRAcceptor(Process):
         coords = self.config.topology.coordinator_pids(
             self.config.schedule.coordinators_of(msg.rnd)
         )
-        self.broadcast(coords, I1b(msg.rnd, self.pid, votes))
+        self.broadcast(coords, I1b(msg.rnd, self.pid, votes, floor=self.gc_floor))
 
     def on_i2a(self, msg: I2a, src: Hashable) -> None:
         if msg.rnd < self.rnd:
             self.send(src, INack(msg.rnd, self.rnd))
+            return
+        if msg.instance < self.gc_floor:
+            # The instance is below the checkpoint frontier: decided,
+            # applied, vote truncated.  Tell the (lagging) coordinator so
+            # it adopts the floor instead of re-offering forever.
+            self.send(src, ITruncated(self.gc_floor))
             return
         vote = self.votes.get(msg.instance)
         if vote is not None and vote[0] >= msg.rnd:
@@ -1056,7 +1561,7 @@ class SMRAcceptor(Process):
         self.rnd = max(self.rnd, rnd)
         self.votes[instance] = (rnd, value)
         self.commands_accepted += 1
-        self.storage.write_many({f"vote:{instance}": (rnd, value)})
+        self.storage.append("vote", instance, (rnd, value))
         # The 2a quorum buffer did its job; drop it so per-acceptor state
         # tracks undecided instances only (on_i2a's vote guard keeps late
         # 2as for this instance from rebuilding it).
@@ -1077,23 +1582,61 @@ class SMRAcceptor(Process):
         one round, and repeated catch-up eventually reassembles that
         quorum at the requesting learner.
         """
+        answered_truncated = False
         for instance in msg.instances:
             vote = self.votes.get(instance)
             if vote is not None:
                 self.send(src, I2b(vote[0], instance, vote[1], self.pid))
+            elif instance < self.gc_floor and not answered_truncated:
+                # The request is below the log horizon: the vote journal
+                # cannot answer it any more.  Point the learner at the
+                # snapshot tier (its peers' checkpoints) instead.
+                self.send(src, ITruncated(self.gc_floor))
+                answered_truncated = True
+
+    # -- checkpointing / log truncation ------------------------------------
+
+    def on_icheckpoint(self, msg: ICheckpoint, src: Hashable) -> None:
+        if self._tracker is None:
+            return
+        self._tracker.update(src, msg.frontier)
+        self._apply_gc(self._tracker.safe_bound())
+
+    def _apply_gc(self, bound: int) -> None:
+        """Truncate votes (memory and journal) below *bound*.
+
+        Safe by the checkpoint policy: a quorum of learners holds durable
+        snapshots covering every instance below the bound, so the votes
+        can never again be needed as decision evidence -- catch-up below
+        the floor is answered with ``ITruncated`` and served by snapshot
+        transfer.  The journal truncation durably records the floor, so
+        recovery can tell "truncated" from "never voted".
+        """
+        if self._tracker is None or bound <= self.gc_floor:
+            return
+        self.gc_floor = bound
+        for instance in [i for i in self.votes if i < bound]:
+            del self.votes[instance]
+        for key in [k for k in self._p2a if k[0] < bound]:
+            del self._p2a[key]
+            self._collided.discard(key)
+        self.storage.truncate_below("vote", bound)
 
     def on_crash(self) -> None:
         self.rnd = ZERO
         self.votes = {}
+        self.gc_floor = 0
         self._p2a = {}
         self._collided = set()
+        self._tracker = FrontierTracker.from_config(self.config)
 
     def on_recover(self) -> None:
+        # Snapshot-era recovery: the durable floor plus the untruncated
+        # journal suffix -- not the full history -- rebuild the vote map.
         self.rnd = self.storage.read("rnd", ZERO)
-        for key in list(self.storage.keys()):
-            if key.startswith("vote:"):
-                instance = int(key.split(":", 1)[1])
-                self.votes[instance] = self.storage.read(key)
+        self.gc_floor = self.storage.floor("vote")
+        for instance, vote in self.storage.prefix_items("vote"):
+            self.votes[instance] = vote
 
 
 class SMRLearner(Process):
@@ -1109,6 +1652,17 @@ class SMRLearner(Process):
     below its highest decided instance -- from the acceptors (which answer
     with a fresh ``I2b`` from their vote journal) and from peer learners
     (which answer known decisions with ``IDecided``).
+
+    With checkpointing enabled the learner is the engine's snapshotter:
+    every ``interval`` delivered instances it captures the attached
+    replica's state at the delivery frontier, journals the checkpoint,
+    truncates its own decided log below it and advertises the frontier
+    (``ICheckpoint``) so the cluster can garbage-collect.  Catch-up turns
+    two-tier: gaps above the cluster's truncation floor are filled from
+    the log as before; gaps below it trigger chunked, resumable snapshot
+    install from a peer followed by ordinary suffix replay.  Crash
+    recovery restores the learner's own journalled checkpoint and
+    replays only the suffix above it.
     """
 
     def __init__(self, pid: str, sim: Simulation, config: InstancesConfig) -> None:
@@ -1118,24 +1672,44 @@ class SMRLearner(Process):
         self.delivered: list[Hashable] = []
         self.catchup_requests = 0
         self.acks_sent = 0
+        self.snapshots_taken = 0
+        self.snapshot_installs = 0
+        self.snapshot_chunks_sent = 0
+        self.snap_frontier = 0  # our durable checkpoint covers [0, here)
         self._delivered_set: set[Hashable] = set()
         self._next_delivery = 0
         self._top_decided = -1  # highest decided instance (gap-scan bound)
+        self._truncated_below = 0  # our decided log starts here
+        self._bytes_since_snap = 0
         self._votes: dict[int, dict[RoundId, dict[str, Hashable]]] = {}
         self._callbacks: list[Callable[[int, Hashable], None]] = []
+        self._replica = None  # set via register_replica (OrderedReplica)
+        self._peer_frontiers: dict[Hashable, int] = {}
+        self._pending_install: dict | None = None
+        self._install_avoid: Hashable | None = None  # last stalled-out source
         if config.retransmit is not None:
             self.set_periodic_timer(
                 config.retransmit.catchup_interval, self._catchup_tick
             )
+        if config.checkpoint is not None:
+            self.set_periodic_timer(
+                config.checkpoint.advertise_interval, self._advertise
+            )
 
     def on_deliver(self, callback: Callable[[int, Hashable], None]) -> None:
         self._callbacks.append(callback)
+
+    def register_replica(self, replica) -> None:
+        """Attach the replica whose machine state our checkpoints capture."""
+        self._replica = replica
 
     def has_delivered(self, cmd: Hashable) -> bool:
         """O(1) membership test on the delivered sequence."""
         return cmd in self._delivered_set
 
     def on_i2b(self, msg: I2b, src: Hashable) -> None:
+        if msg.instance < self._truncated_below:
+            return  # below our checkpoint: delivered and truncated
         existing = self.decided.get(msg.instance)
         if existing is not None and existing == msg.val:
             return  # straggler vote for a settled instance: no new info
@@ -1158,64 +1732,380 @@ class SMRLearner(Process):
         self.decided[instance] = val
         self._top_decided = max(self._top_decided, instance)
         self._votes.pop(instance, None)
+        if self.config.checkpoint is not None:
+            self._bytes_since_snap += len(repr(val))
         if isinstance(val, Batch):
             for cmd in val.cmds:
                 self.metrics.record_learn(cmd, self.pid, self.now)
         elif val != NOOP:
             self.metrics.record_learn(val, self.pid, self.now)
-        self._ack(val)
+        self._ack(val, instance)
         self._deliver_ready()
 
-    def _ack(self, val: Hashable) -> None:
+    def _ack(self, val: Hashable, instance: int = -1) -> None:
         if self.config.retransmit is None or val == NOOP:
             return
         self.acks_sent += 1
-        self.broadcast(self.config.topology.proposers, IAck(val))
+        self.broadcast(self.config.topology.proposers, IAck(val, instance))
 
     def on_idecided(self, msg: IDecided, src: Hashable) -> None:
+        if msg.instance < self._truncated_below:
+            # Delivered, checkpointed and truncated -- but the announcement
+            # means some proposer is still retrying, so re-ack.
+            self._ack(msg.val, msg.instance)
+            return
         existing = self.decided.get(msg.instance)
         if existing is not None:
             _check_consistent(msg.instance, existing, msg.val)
             # Re-ack: the announcement means some proposer is still
             # retrying, i.e. an earlier ack was lost.
-            self._ack(msg.val)
+            self._ack(msg.val, msg.instance)
             return
         self._learn(msg.instance, msg.val)
 
     # -- gap detection and catch-up -----------------------------------------
 
-    def gaps(self) -> list[int]:
-        """Undecided instances below the highest decided instance.
+    def gaps(self, limit: int | None = None, start: int | None = None) -> list[int]:
+        """Undecided instances up to the highest known-decided instance.
 
-        Scans only the [delivery frontier, top decided) window, so the
+        Scans only the [delivery frontier, top decided] window, so the
         periodic gap poll is O(1) at quiescence instead of rescanning the
-        whole decided history.
+        whole decided history.  The scan is *inclusive* of the top:
+        ``_top_decided`` is raised by checkpoint advertisements to
+        ``frontier - 1`` without that instance being locally decided, and
+        the last pre-checkpoint instance must be requestable too (when
+        ``_top_decided`` was learned locally, the ``in decided`` filter
+        drops it as before).
+
+        ``limit`` stops the scan after that many gaps: a laggard whose
+        top was advertisement-raised far beyond its log must not pay an
+        O(deficit) scan per tick to fill a ``max_resend``-sized request.
+        ``start`` raises the scan's lower bound (the log tier's actual
+        coverage while a snapshot install is in flight).
         """
-        return [
-            i
-            for i in range(self._next_delivery, self._top_decided)
-            if i not in self.decided
-        ]
+        lo = self._next_delivery if start is None else max(start, self._next_delivery)
+        found: list[int] = []
+        for i in range(lo, self._top_decided + 1):
+            if i not in self.decided:
+                found.append(i)
+                if limit is not None and len(found) >= limit:
+                    break
+        return found
 
     def _catchup_tick(self) -> None:
         retransmit = self.config.retransmit
         if retransmit is None:
             return
-        missing = self.gaps()
-        if not missing:
+        # Resumable snapshot install: re-request the missing chunks -- or
+        # the whole transfer, if the initial request (or every chunk) was
+        # lost and we never learned the chunk count.  A transfer that makes
+        # no progress for several ticks is abandoned so the next offer or
+        # ITruncated can re-source it (its sender may have crashed); one
+        # that ordinary log replay already overtook is dropped outright
+        # (its chunks would all be discarded on arrival anyway).
+        pend = self._pending_install
+        if pend is not None and pend["frontier"] <= self._next_delivery:
+            pend = self._pending_install = None
+        if pend is not None:
+            received = len(pend["chunks"])
+            if received == pend.get("last_received", -1):
+                pend["stalls"] = pend.get("stalls", 0) + 1
+            else:
+                pend["stalls"] = 0
+            pend["last_received"] = received
+            if pend["stalls"] >= 4:
+                # The source stopped answering (likely crashed): abandon
+                # and re-source, preferring a different peer.
+                self._install_avoid = pend["src"]
+                pend = self._pending_install = None
+                self._request_snapshot()
+            elif pend["total"] is None:
+                self.send(pend["src"], ISnapshotRequest(pend["frontier"]))
+            else:
+                missing = tuple(
+                    seq for seq in range(pend["total"]) if seq not in pend["chunks"]
+                )
+                if missing:
+                    self.send(
+                        pend["src"], ISnapshotRequest(pend["frontier"], missing)
+                    )
+        # Log-tier gap poll.  While a snapshot install is in flight, only
+        # gaps at or above its frontier are worth requesting from the log
+        # -- everything below arrives with the chunks, and acceptors could
+        # only answer ITruncated churn anyway.
+        start = pend["frontier"] if pend is not None else None
+        missing_instances = self.gaps(limit=retransmit.max_resend, start=start)
+        if not missing_instances:
             return
         self.catchup_requests += 1
-        request = ICatchUp(tuple(missing[: retransmit.max_resend]))
+        request = ICatchUp(tuple(missing_instances))
         peers = [pid for pid in self.config.topology.learners if pid != self.pid]
         self.broadcast(self.config.topology.acceptors, request)
         self.broadcast(peers, request)
 
     def on_icatchup(self, msg: ICatchUp, src: Hashable) -> None:
-        """Answer a peer learner's gap request with known decisions."""
+        """Answer a peer's gap request: decisions, or a snapshot offer.
+
+        Instances we truncated (below our checkpoint) cannot be answered
+        from the log any more -- the peer is behind our snapshot frontier,
+        so offer the checkpoint instead (tier two of catch-up).
+        """
+        offered = False
         for instance in msg.instances:
             value = self.decided.get(instance)
             if value is not None:
                 self.send(src, IDecided(instance, value))
+            elif instance < self.snap_frontier and not offered:
+                self.send(src, ISnapshotOffer(self.snap_frontier))
+                offered = True
+
+    # -- checkpointing ------------------------------------------------------
+
+    def _maybe_snapshot(self) -> None:
+        checkpoint = self.config.checkpoint
+        if checkpoint is None:
+            return
+        delta = self._next_delivery - self.snap_frontier
+        if delta <= 0:
+            return
+        due = delta >= checkpoint.interval
+        if not due and checkpoint.interval_bytes is not None:
+            due = self._bytes_since_snap >= checkpoint.interval_bytes
+        if due:
+            self._take_snapshot()
+
+    def _take_snapshot(self) -> None:
+        """Checkpoint the delivery frontier; truncate; advertise.
+
+        The checkpoint is one overwritten storage key -- checkpoints
+        compact the log, they must not become a second growing log.  It
+        carries the delivered command sequence (the replica's executed
+        order plus the at-most-once dedup evidence) and the machine state,
+        so an installer needs nothing else to resume from the frontier.
+        """
+        frontier = self._next_delivery
+        machine_state = (
+            self._replica.snapshot_state() if self._replica is not None else None
+        )
+        self.storage.write(
+            "snapshot",
+            {
+                "frontier": frontier,
+                "delivered": tuple(self.delivered),
+                "machine": machine_state,
+            },
+        )
+        self.snapshots_taken += 1
+        self.snap_frontier = frontier
+        self._bytes_since_snap = 0
+        self._truncate_log(frontier)
+        self._advertise()
+
+    def _truncate_log(self, bound: int) -> None:
+        """Drop decided entries and vote buffers below *bound*.
+
+        Iterates the retained keys, not the instance range: a laggard
+        installing a far-ahead checkpoint must pay O(retained entries),
+        not O(frontier jump).
+        """
+        if bound <= self._truncated_below:
+            return
+        for instance in [i for i in self.decided if i < bound]:
+            del self.decided[instance]
+        for instance in [i for i in self._votes if i < bound]:
+            del self._votes[instance]
+        self._truncated_below = bound
+
+    def _advertise(self) -> None:
+        if self.config.checkpoint is None or self.snap_frontier <= 0:
+            return
+        msg = ICheckpoint(self.snap_frontier)
+        self.broadcast(self.config.topology.coordinators, msg)
+        self.broadcast(self.config.topology.acceptors, msg)
+        self.broadcast(self.config.topology.proposers, msg)
+        peers = [pid for pid in self.config.topology.learners if pid != self.pid]
+        self.broadcast(peers, msg)
+
+    def on_icheckpoint(self, msg: ICheckpoint, src: Hashable) -> None:
+        if self.config.checkpoint is None:
+            return
+        if msg.frontier > self._peer_frontiers.get(src, 0):
+            self._peer_frontiers[src] = msg.frontier
+        if msg.frontier > self._next_delivery:
+            # Everything below the peer's checkpoint is decided; surface
+            # the deficit as a gap so the two-tier catch-up resolves it
+            # (log replay above the cluster floor, install below it) --
+            # this is how a restarted laggard discovers how far behind it
+            # is without any new client traffic.
+            self._top_decided = max(self._top_decided, msg.frontier - 1)
+
+    def on_itruncated(self, msg: ITruncated, src: Hashable) -> None:
+        """An acceptor's log horizon moved past our gap: install tier."""
+        if msg.floor <= self._next_delivery:
+            return  # our log position is fine; ordinary replay covers it
+        self._request_snapshot()
+
+    def _request_snapshot(self) -> None:
+        """Ask the most advanced known peer for its checkpoint.
+
+        A peer whose transfer just stalled out (``_install_avoid``) is
+        skipped when any other candidate exists -- its advertisement may
+        be stale evidence of a crashed process.
+        """
+        best_pid, best_frontier = None, self._next_delivery
+        for pid, frontier in self._peer_frontiers.items():
+            if frontier > best_frontier and pid != self._install_avoid:
+                best_pid, best_frontier = pid, frontier
+        if best_pid is None and self._install_avoid is not None:
+            avoided = self._peer_frontiers.get(self._install_avoid, 0)
+            if avoided > self._next_delivery:
+                best_pid, best_frontier = self._install_avoid, avoided
+        if best_pid is None:
+            return  # no advertisement seen yet; the periodic ticks will come
+        self._start_install(best_pid, best_frontier)
+
+    def on_isnapshotoffer(self, msg: ISnapshotOffer, src: Hashable) -> None:
+        if msg.frontier <= self._next_delivery:
+            return  # no gain: we are already past the offered checkpoint
+        self._start_install(src, msg.frontier)
+
+    def _start_install(self, src: Hashable, frontier: int) -> None:
+        """Begin (or upgrade) a snapshot transfer from *src*.
+
+        A transfer in flight is replaced only by a strictly higher
+        frontier: its chunks carry their own frontier, and a sender
+        always answers with its *current* checkpoint anyway.  While the
+        current transfer has produced no chunk yet, further equal-or-
+        lower offers are debounced to the catch-up tick -- a laggard's
+        gap poll draws an ``ITruncated``/``ISnapshotOffer`` from every
+        acceptor and peer at once, and each full re-request would be
+        answered with the complete chunk set.  A dead source cannot pin
+        the install: the tick's stall counter abandons and re-sources it.
+        """
+        pend = self._pending_install
+        if pend is not None and pend["frontier"] >= frontier:
+            return
+        self._pending_install = {
+            "frontier": frontier,
+            "src": src,
+            "total": None,
+            "chunks": {},
+        }
+        self.send(src, ISnapshotRequest(frontier))
+
+    def on_isnapshotrequest(self, msg: ISnapshotRequest, src: Hashable) -> None:
+        snapshot = self.storage.read("snapshot")
+        if snapshot is None:
+            return
+        # Answer with our *current* checkpoint even if newer than asked:
+        # the chunks carry their own frontier, and newer strictly helps.
+        checkpoint = self.config.checkpoint
+        delivered = snapshot["delivered"]
+        chunk = checkpoint.chunk_size
+        total = 1 + (len(delivered) + chunk - 1) // chunk
+        seqs = range(total) if msg.chunks is None else msg.chunks
+        for seq in seqs:
+            if not 0 <= seq < total:
+                continue
+            payload = () if seq == 0 else delivered[(seq - 1) * chunk : seq * chunk]
+            machine = snapshot["machine"] if seq == 0 else None
+            self.send(
+                src,
+                ISnapshotChunk(snapshot["frontier"], seq, total, payload, machine),
+            )
+            self.snapshot_chunks_sent += 1
+
+    def on_isnapshotchunk(self, msg: ISnapshotChunk, src: Hashable) -> None:
+        if msg.frontier <= self._next_delivery:
+            return  # stale transfer: we advanced past it meanwhile
+        pend = self._pending_install
+        if pend is None or pend["frontier"] < msg.frontier:
+            pend = self._pending_install = {
+                "frontier": msg.frontier,
+                "src": src,
+                "total": msg.total,
+                "chunks": {},
+            }
+        elif pend["frontier"] > msg.frontier:
+            return  # chunks of an older transfer we already abandoned
+        pend["src"] = src
+        pend["total"] = msg.total
+        pend["chunks"][msg.seq] = msg
+        if len(pend["chunks"]) == msg.total:
+            self._install_snapshot(pend)
+
+    def _install_snapshot(self, pend: dict) -> None:
+        """Adopt a fully assembled peer checkpoint (state transfer).
+
+        The agreed total order makes our delivered sequence a prefix of
+        the checkpoint's, so adoption is a fast-forward: machine state,
+        executed order and dedup evidence all come from the checkpoint,
+        the delivery frontier jumps to its frontier, and ordinary log
+        replay resumes above it.  The installed checkpoint immediately
+        becomes our own journalled checkpoint (a crash right after the
+        install must not send us below the cluster's truncation floor
+        again).
+        """
+        chunks = [pend["chunks"][seq] for seq in range(pend["total"])]
+        frontier = pend["frontier"]
+        delivered = tuple(cmd for part in chunks for cmd in part.payload)
+        machine_state = chunks[0].machine
+        self._pending_install = None
+        self._install_avoid = None
+        if frontier <= self._next_delivery:
+            return
+        self.snapshot_installs += 1
+        # The installed checkpoint immediately becomes our own journalled
+        # one: a crash right after the install must not send us below the
+        # cluster's truncation floor again.
+        self.storage.write(
+            "snapshot",
+            {"frontier": frontier, "delivered": delivered, "machine": machine_state},
+        )
+        self._adopt_checkpoint(frontier, delivered, machine_state)
+        self._deliver_ready()  # buffered decisions above the frontier
+
+    def _adopt_checkpoint(self, frontier: int, delivered: tuple, machine_state) -> None:
+        """Fast-forward the delivery state to a checkpoint.
+
+        Shared by snapshot install (state transfer) and crash-recovery
+        (restoring the learner's own journalled checkpoint): the agreed
+        total order makes the current delivered sequence a prefix of the
+        checkpoint's, so adoption replaces it wholesale.
+        """
+        self.delivered = list(delivered)
+        self._delivered_set = set(delivered)
+        self._next_delivery = frontier
+        self._top_decided = max(self._top_decided, frontier - 1)
+        self._truncate_log(frontier)
+        if self._replica is not None:
+            self._replica.install_snapshot(machine_state, delivered)
+        self.snap_frontier = frontier
+        self._bytes_since_snap = 0
+        self._advertise()
+
+    # -- crash-recovery -----------------------------------------------------
+
+    def on_crash(self) -> None:
+        if self.config.checkpoint is None:
+            # Legacy behaviour (kept for the pre-checkpoint tests): the
+            # learner's delivery state survives the crash object-wise and
+            # recovery relies on catch-up only.
+            return
+        self.decided = {}
+        self.delivered = []
+        self._delivered_set = set()
+        self._next_delivery = 0
+        self._top_decided = -1
+        self._truncated_below = 0
+        self._bytes_since_snap = 0
+        self.snap_frontier = 0
+        self._votes = {}
+        self._peer_frontiers = {}
+        self._pending_install = None
+        self._install_avoid = None
+        if self._replica is not None:
+            self._replica.install_snapshot(None, ())
 
     def on_recover(self) -> None:
         # Timers died with the crash; re-arm the gap poll.  Decisions made
@@ -1227,6 +2117,21 @@ class SMRLearner(Process):
             self.set_periodic_timer(
                 self.config.retransmit.catchup_interval, self._catchup_tick
             )
+        if self.config.checkpoint is None:
+            return
+        self.set_periodic_timer(
+            self.config.checkpoint.advertise_interval, self._advertise
+        )
+        # Snapshot-restore + suffix replay: our own journalled checkpoint
+        # fast-forwards the delivery frontier; everything above it arrives
+        # through the ordinary catch-up path (or snapshot install, if the
+        # cluster truncated past us during the outage).
+        snapshot = self.storage.read("snapshot")
+        if snapshot is None:
+            return
+        self._adopt_checkpoint(
+            snapshot["frontier"], snapshot["delivered"], snapshot["machine"]
+        )
 
     def _deliver_ready(self) -> None:
         while self._next_delivery in self.decided:
@@ -1245,6 +2150,7 @@ class SMRLearner(Process):
                 self._delivered_set.add(cmd)
                 for callback in self._callbacks:
                     callback(instance, cmd)
+        self._maybe_snapshot()
 
 
 @dataclass
@@ -1301,6 +2207,38 @@ class SMRCluster:
             "acks": sum(l.acks_sent for l in self.learners),
         }
 
+    def checkpoint_stats(self) -> dict[str, int]:
+        """Aggregate checkpoint/GC counters across the cluster."""
+        return {
+            "snapshots": sum(l.snapshots_taken for l in self.learners),
+            "installs": sum(l.snapshot_installs for l in self.learners),
+            "chunks_sent": sum(l.snapshot_chunks_sent for l in self.learners),
+            "min_snap_frontier": min(l.snap_frontier for l in self.learners),
+            "acceptor_floor": min(a.gc_floor for a in self.acceptors),
+            "coordinator_floor": min(c.gc_floor for c in self.coordinators),
+        }
+
+    def retained_state(self) -> dict[str, int]:
+        """Worst-case per-process retained per-instance state, by kind.
+
+        The bounded-memory claim of the checkpointing layer (E12, the
+        long-run tests) is about exactly these numbers: with a
+        ``CheckpointConfig`` they must track the checkpoint *window*, not
+        the total history.
+        """
+        return {
+            "acceptor votes": max(len(a.votes) for a in self.acceptors),
+            "acceptor journal": max(
+                a.storage.prefix_count("vote") for a in self.acceptors
+            ),
+            "coordinator decided": max(len(c.decided) for c in self.coordinators),
+            "coordinator dedup": max(
+                len(c._decided_values) for c in self.coordinators
+            ),
+            "learner decided": max(len(l.decided) for l in self.learners),
+            "learner votes": max(len(l._votes) for l in self.learners),
+        }
+
     def run_until_delivered(self, cmds, timeout: float = 5_000.0) -> bool:
         cmds = list(cmds)
         return self.sim.run_until(lambda: self.everyone_delivered(cmds), timeout=timeout)
@@ -1317,6 +2255,7 @@ def build_smr(
     f: int | None = None,
     batching: BatchingConfig | None = None,
     retransmit: RetransmitConfig | None = None,
+    checkpoint: CheckpointConfig | None = None,
 ) -> SMRCluster:
     """Deploy a multicoordinated MultiPaxos replication group on *sim*."""
     topology = Topology.build(n_proposers, n_coordinators, n_acceptors, n_learners)
@@ -1330,6 +2269,7 @@ def build_smr(
         liveness=liveness,
         batching=batching,
         retransmit=retransmit,
+        checkpoint=checkpoint,
     )
     return SMRCluster(
         sim=sim,

@@ -27,6 +27,16 @@ class StateMachine:
         """A hashable/value-comparable representation of the state."""
         raise NotImplementedError
 
+    def restore(self, state: Any) -> None:
+        """Reset to the state captured by :meth:`snapshot`.
+
+        ``restore(None)`` resets to the initial (empty) state.  Required
+        for checkpointing and snapshot-based state transfer: a replica
+        installing a peer's checkpoint replaces its machine state wholesale
+        instead of replaying the full command history.
+        """
+        raise NotImplementedError
+
 
 class KVStore(StateMachine):
     """A string-keyed store with ``put``, ``get``, ``inc`` and ``cas`` ops."""
@@ -59,6 +69,15 @@ class KVStore(StateMachine):
 
     def snapshot(self) -> tuple:
         return tuple(sorted(self._data.items()))
+
+    def restore(self, state: tuple | None) -> None:
+        """Adopt a :meth:`snapshot` (or reset, with ``None``).
+
+        ``applied`` restarts empty: the pre-snapshot history lives in the
+        checkpoint, not in this machine's replay log.
+        """
+        self._data = dict(state) if state is not None else {}
+        self.applied = []
 
 
 def kv_conflict() -> KeyConflict:

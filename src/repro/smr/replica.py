@@ -65,6 +65,14 @@ class OrderedReplica:
     each command once, but a command decided in two instances (assignment
     races, resubmission) must still execute only once with its first result
     preserved.
+
+    Checkpointing: when the learner supports it (``register_replica``),
+    the replica registers itself so the learner can capture
+    :meth:`snapshot_state` at its delivery frontier and restore via
+    :meth:`install_snapshot` -- on crash-recovery from the learner's own
+    journalled checkpoint, and on snapshot-based state transfer from a
+    peer when this replica lags below the cluster's log truncation
+    frontier.
     """
 
     def __init__(self, learner, machine: StateMachine) -> None:
@@ -75,6 +83,9 @@ class OrderedReplica:
         self._executed_set: set[Command] = set()
         self._observers: list[Callable[[Command, object], None]] = []
         learner.on_deliver(self._on_deliver)
+        register = getattr(learner, "register_replica", None)
+        if register is not None:
+            register(self)
 
     def on_execute(self, observer: Callable[[Command, object], None]) -> None:
         self._observers.append(observer)
@@ -92,3 +103,31 @@ class OrderedReplica:
         self.results[cmd] = result
         for observer in self._observers:
             observer(cmd, result)
+
+    # -- checkpointing ------------------------------------------------------
+
+    def snapshot_state(self):
+        """The machine state at the current execution frontier."""
+        return self.machine.snapshot()
+
+    def install_snapshot(self, machine_state, executed) -> None:
+        """Adopt a checkpoint: machine state plus its executed sequence.
+
+        The agreed total order makes our executed sequence a prefix of any
+        peer checkpoint's, so adopting the checkpoint wholesale is a pure
+        fast-forward.  With ``machine_state`` None (a checkpoint taken by a
+        learner with no attached machine, or a reset) the state is rebuilt
+        by deterministic replay of *executed* from the initial state.
+        ``results`` of fast-forwarded commands are not reconstructed --
+        clients that need them must watch a replica that executed live.
+        """
+        executed = list(executed)
+        if machine_state is None:
+            self.machine.restore(None)
+            for cmd in executed:
+                self.machine.apply(cmd)
+        else:
+            self.machine.restore(machine_state)
+        self.executed = executed
+        self._executed_set = set(executed)
+        self.results = {}

@@ -30,6 +30,16 @@ def test_batching_config_validation():
         BatchingConfig(flush_interval=0.0)
     with pytest.raises(ValueError):
         BatchingConfig(pipeline_depth=0)
+    with pytest.raises(ValueError):
+        BatchingConfig(retry_lane=0)
+    with pytest.raises(ValueError):
+        BatchingConfig(adaptive=True, ewma_alpha=0.0)
+    with pytest.raises(ValueError):
+        BatchingConfig(adaptive=True, ewma_alpha=1.5)
+    with pytest.raises(ValueError):
+        BatchingConfig(max_batch=4, min_batch=5)
+    with pytest.raises(ValueError):
+        BatchingConfig(min_batch=0)
 
 
 def test_size_triggered_flush_packs_one_instance():
@@ -205,3 +215,160 @@ def test_batch_survives_coordinator_crash():
         cluster.propose(command, delay=5.0 + 2 * i)
     sim.schedule(15, lambda: cluster.coordinators[0].crash())
     assert cluster.run_until_delivered(commands, timeout=5000)
+
+
+# -- retransmission-aware flow control (the reserved retry lane) --------------
+
+
+def test_retry_lane_reserved_slots():
+    """A full fresh pipeline must not block retries, and vice versa.
+
+    Phase 1 completes on the live network first; then the acceptors are
+    silenced so nothing decides -- assignments stay in flight and the
+    window accounting is directly observable.
+    """
+    from repro.smr.instances import IPropose
+
+    sim, cluster = deploy(
+        BatchingConfig(max_batch=1, flush_interval=1.0, pipeline_depth=2, retry_lane=1)
+    )
+    sim.run(until=10)  # phase 1 completes on the live network
+    coordinator = cluster.coordinators[0]
+    assert coordinator.phase1_done
+    # Now cut the acceptors off so no instance can decide.
+    sim.network.add_drop_filter(lambda src, dst, msg: str(dst).startswith("acc"))
+    fresh = make_cmds(5)
+    for i, command in enumerate(fresh):
+        coordinator.on_ipropose(IPropose(command), "prop0")
+    sim.run(until=sim.clock + 1)
+    # The fresh window (2) is full; the surplus waits in the fresh queue.
+    assert len(coordinator.assigned) == 2
+    assert len(coordinator.pending) == 3
+    # A retry still gets through: it is served from the reserved lane.
+    retry_cmd = cmd("r0", "put", "retry", 0)
+    coordinator.on_ipropose(IPropose(retry_cmd, retry=True), "prop0")
+    assert len(coordinator.assigned) == 3
+    assert len(coordinator._retry_inflight) == 1
+    assert not coordinator.pending_retry
+    # The retry lane is bounded too: a second retry waits.
+    retry_cmd2 = cmd("r1", "put", "retry", 1)
+    coordinator.on_ipropose(IPropose(retry_cmd2, retry=True), "prop0")
+    assert len(coordinator.assigned) == 3
+    assert [p.cmd for p in coordinator.pending_retry] == [retry_cmd2]
+
+
+def test_retry_lane_served_before_fresh_backlog():
+    """Draining order: recovery traffic first, then fresh proposals."""
+    from repro.smr.instances import IPropose
+
+    sim, cluster = deploy(
+        BatchingConfig(max_batch=1, flush_interval=1.0, pipeline_depth=1, retry_lane=1)
+    )
+    sim.run(until=10)
+    coordinator = cluster.coordinators[0]
+    sim.network.add_drop_filter(lambda src, dst, msg: str(dst).startswith("acc"))
+    blocker = cmd("f0", "put", "x", 0)
+    coordinator.on_ipropose(IPropose(blocker), "prop0")  # fills the window
+    backlog = cmd("f1", "put", "x", 1)
+    coordinator.on_ipropose(IPropose(backlog), "prop0")  # queued fresh
+    retried = cmd("r0", "put", "x", 2)
+    coordinator.on_ipropose(IPropose(retried, retry=True), "prop0")
+    # The retry was assigned ahead of the queued fresh command.
+    assert retried in coordinator._assigned_cmds
+    assert backlog not in coordinator._assigned_cmds
+
+
+def test_loss_recovery_throughput_with_retry_lane():
+    """End to end under loss: retries and fresh traffic both complete."""
+    from repro.smr.instances import RetransmitConfig
+
+    sim = Simulation(
+        seed=5, network=NetworkConfig(drop_rate=0.25), max_events=4_000_000
+    )
+    cluster = build_smr(
+        sim,
+        batching=BatchingConfig(
+            max_batch=2, flush_interval=1.5, pipeline_depth=2, retry_lane=2
+        ),
+        retransmit=RetransmitConfig(retry_interval=4.0),
+        liveness=LivenessConfig(),
+    )
+    cluster.start_round(cluster.config.schedule.make_round(coord=0, count=1, rtype=2))
+    commands = make_cmds(24)
+    for i, command in enumerate(commands):
+        cluster.propose(command, delay=5.0 + i)
+    assert cluster.run_until_delivered(commands, timeout=20_000)
+    orders = [tuple(learner.delivered) for learner in cluster.learners]
+    assert all(order == orders[0] for order in orders)
+
+
+# -- adaptive batch sizing (EWMA of the arrival rate) -------------------------
+
+
+def test_adaptive_target_tracks_arrival_rate():
+    sim, cluster = deploy(
+        BatchingConfig(
+            max_batch=8, flush_interval=4.0, adaptive=True, ewma_alpha=1.0
+        ),
+        n_proposers=1,
+    )
+    sim.run(until=10)
+    proposer = cluster.proposers[0]
+    assert proposer.target_batch() == 8  # no observations yet: the cap
+    # Sparse arrivals (period 2.0 vs flush window 4.0): ~2 per window.
+    commands = make_cmds(4)
+    for i, command in enumerate(commands):
+        cluster.propose(command, delay=1.0 + 2.0 * i, proposer=0)
+    assert cluster.run_until_delivered(commands, timeout=1000)
+    assert proposer.target_batch() == 2
+    # Dense arrivals drive the estimate back up to the cap.
+    dense = [cmd(f"dense{i}", "put", f"d{i}", i) for i in range(12)]
+    for i, command in enumerate(dense):
+        cluster.propose(command, delay=1.0 + 0.25 * i, proposer=0)
+    assert cluster.run_until_delivered(dense, timeout=1000)
+    assert proposer.target_batch() == 8
+
+
+def test_adaptive_sparse_traffic_ships_smaller_batches():
+    """Sparse arrivals must not wait out the full static cap."""
+
+    def run(adaptive):
+        sim, cluster = deploy(
+            BatchingConfig(
+                max_batch=8,
+                flush_interval=6.0,
+                adaptive=adaptive,
+                ewma_alpha=0.5,
+            ),
+            n_proposers=1,
+            seed=4,
+        )
+        commands = make_cmds(12)
+        for i, command in enumerate(commands):
+            cluster.propose(command, delay=5.0 + 2.0 * i, proposer=0)
+        assert cluster.run_until_delivered(commands, timeout=2000)
+        latencies = [sim.metrics.latency_of(c) for c in commands]
+        return cluster.proposers[0].batches_sent, max(latencies)
+
+    static_batches, static_worst = run(False)
+    adaptive_batches, adaptive_worst = run(True)
+    # Adaptive sizing ships more, smaller batches at lower worst latency:
+    # the static engine waits flush_interval (or 8 commands) per batch.
+    assert adaptive_batches > static_batches
+    assert adaptive_worst < static_worst
+
+
+def test_adaptive_dense_traffic_still_fills_batches():
+    sim, cluster = deploy(
+        BatchingConfig(
+            max_batch=4, flush_interval=5.0, adaptive=True, ewma_alpha=0.5
+        ),
+        n_proposers=1,
+        seed=2,
+    )
+    commands = make_cmds(16)
+    for i, command in enumerate(commands):
+        cluster.propose(command, delay=5.0 + 0.1 * i, proposer=0)
+    assert cluster.run_until_delivered(commands, timeout=2000)
+    # Dense traffic converges to full batches: ~16/4 flushes, not 16.
+    assert cluster.proposers[0].batches_sent <= 6
