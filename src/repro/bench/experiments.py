@@ -1077,6 +1077,206 @@ def experiment_e12(
     return rows
 
 
+# ---------------------------------------------------------------------------
+# E13 -- generalized-engine parity: c-struct batching + stable-prefix GC
+# ---------------------------------------------------------------------------
+
+
+def _e13_run(
+    label: str,
+    n_commands: int,
+    conflict_rate: float,
+    batching: "GenBatchingConfig | None" = None,
+    retransmit: "RetransmitConfig | None" = None,
+    checkpoint: "CheckpointConfig | None" = None,
+    seed: int = 19,
+    window: int = 16,
+    sample_period: float = 10.0,
+    crash_learner: bool = False,
+    n_learners: int = 2,
+) -> Row:
+    """One closed-loop saturation run on the generalized engine.
+
+    A :class:`repro.smr.client.PipelinedClient` keeps *window* commands in
+    flight so batches fill on arrival pressure; peak retained
+    history-lattice state is sampled periodically.  With ``crash_learner``
+    the last learner goes down mid-run, the cluster truncates past its
+    durable checkpoint, and the learner is restarted -- it must converge
+    through snapshot install to a compatible replica.
+    """
+    import time as _time
+
+    from repro.core.generalized import build_generalized
+    from repro.smr.client import PipelinedClient
+    from repro.smr.machine import KVStore
+    from repro.smr.replica import BroadcastReplica
+
+    sim = Simulation(seed=seed, max_events=30_000_000)
+    cluster = build_generalized(
+        sim,
+        bottom=CommandHistory.bottom(kv_conflict()),
+        n_coordinators=3,
+        n_acceptors=3,
+        n_learners=n_learners,
+        batching=batching,
+        retransmit=retransmit,
+        checkpoint=checkpoint,
+    )
+    cluster.start_round(cluster.config.schedule.make_round(0, 1, 2))
+    replicas = [BroadcastReplica(learner, KVStore()) for learner in cluster.learners]
+    client = PipelinedClient("e13", cluster, window=window)
+    client.watch_learner(cluster.learners[0])
+    workload = Workload.generate(
+        WorkloadConfig(
+            n_commands=n_commands,
+            conflict_rate=conflict_rate,
+            read_fraction=0.2,
+            seed=seed,
+        )
+    )
+    sim.run(until=5.0)  # let the round establish before loading it
+    client.submit(workload.commands)
+
+    peaks: dict[str, int] = {}
+
+    def sample() -> None:
+        for key, value in cluster.retained_history().items():
+            peaks[key] = max(peaks.get(key, 0), value)
+        sim.schedule(sample_period, sample)
+
+    sim.schedule(sample_period, sample)
+
+    victim = cluster.learners[-1]
+    if crash_learner:
+        # Crash once a third of the run is delivered; restart at two
+        # thirds, after the cluster has truncated past the victim.
+        sim.run_until(
+            lambda: len(cluster.learners[0].delivered) >= n_commands // 3,
+            timeout=200.0 * n_commands,
+        )
+        victim.crash()
+        sim.run_until(
+            lambda: len(cluster.learners[0].delivered) >= 2 * n_commands // 3,
+            timeout=200.0 * n_commands,
+        )
+        victim.recover()
+    start = _time.perf_counter()
+    completed = sim.run_until(
+        lambda: cluster.everyone_learned(workload.commands),
+        timeout=200.0 * n_commands,
+    )
+    wall = _time.perf_counter() - start
+    sample()
+    hot_orders = {
+        tuple(c for c in replica.executed if c.key == workload.config.hot_key)
+        for replica in replicas
+    }
+    stats = cluster.checkpoint_stats() if checkpoint is not None else {}
+    return {
+        "engine": label,
+        "commands": n_commands,
+        "conflict rate": conflict_rate,
+        "completed": completed,
+        "wall s": wall,
+        "events": sim.events_processed,
+        "msgs / cmd": sim.metrics.total_messages / n_commands,
+        "cmds / wall s": n_commands / wall if wall else float("inf"),
+        "peak retained history": max(
+            peaks.get("acceptor vval", 0),
+            peaks.get("learner learned", 0),
+            peaks.get("coordinator cval", 0),
+        ),
+        "peak acceptor journal": peaks.get("acceptor journal", 0),
+        "orders agree": len(hot_orders) == 1,
+        "states agree": len({r.machine.snapshot() for r in replicas}) == 1,
+        "snapshots": stats.get("snapshots", 0),
+        "installs": stats.get("installs", 0),
+        "final floor": stats.get("acceptor_floor", 0),
+    }
+
+
+def experiment_e13(
+    n_commands: int = 200,
+    conflict_rates: tuple[float, ...] = (0.1, 0.3),
+    seed: int = 19,
+) -> list[Row]:
+    """Batch size x conflict density on the generalized engine.
+
+    Without batching every proposal costs one ``extend`` plus one 2a/2b
+    round trip of its own; with a :class:`GenBatchingConfig` whole command
+    groups ride one phase "2a" (one ``CommandHistory.extend`` per batch),
+    so events and messages per command drop by ~the batch size and
+    end-to-end throughput rises well over the 2x acceptance bar
+    (``benchmarks/bench_e13_gen_parity.py`` asserts it at moderate
+    conflict density).
+    """
+    from repro.core.generalized import GenBatchingConfig
+
+    grid: list[tuple[str, "GenBatchingConfig | None"]] = [
+        ("unbatched", None),
+        ("batch 4", GenBatchingConfig(max_batch=4, flush_interval=2.0)),
+        ("batch 8", GenBatchingConfig(max_batch=8, flush_interval=2.0)),
+    ]
+    rows: list[Row] = []
+    for rate in conflict_rates:
+        for label, batching in grid:
+            rows.append(
+                _e13_run(label, n_commands, rate, batching=batching, seed=seed)
+            )
+    return rows
+
+
+def experiment_e13_memory(
+    n_grid: tuple[int, ...] = (400, 800, 1200),
+    interval: int = 50,
+    conflict_rate: float = 0.3,
+    seed: int = 19,
+) -> list[Row]:
+    """Retained history vs run length: window-bounded vs unbounded.
+
+    The unbounded engine's peak retained history (acceptor ``vval``,
+    learner ``learned``, coordinator ``cval``) grows linearly with the
+    run; with stable-prefix checkpointing it must track the checkpoint
+    *window* -- flat across run lengths.  The final row restarts a laggard
+    learner below the truncation floor: it must converge through chunked
+    snapshot install to a compatible replica.
+    """
+    from repro.core.checkpoint import CheckpointConfig, RetransmitConfig
+    from repro.core.generalized import GenBatchingConfig
+
+    batching = GenBatchingConfig(max_batch=8, flush_interval=1.0)
+    rows: list[Row] = []
+    for n in n_grid:
+        rows.append(
+            _e13_run(f"unbounded, {n} cmds", n, conflict_rate, batching=batching, seed=seed)
+        )
+        rows.append(
+            _e13_run(
+                f"checkpoint {interval}, {n} cmds",
+                n,
+                conflict_rate,
+                batching=batching,
+                retransmit=RetransmitConfig(),
+                checkpoint=CheckpointConfig(interval=interval, gc_quorum=2),
+                seed=seed,
+            )
+        )
+    rows.append(
+        _e13_run(
+            f"checkpoint {interval} + laggard restart",
+            n_grid[0],
+            conflict_rate,
+            batching=batching,
+            retransmit=RetransmitConfig(),
+            checkpoint=CheckpointConfig(interval=interval, gc_quorum=2, chunk_size=64),
+            seed=seed,
+            crash_learner=True,
+            n_learners=3,
+        )
+    )
+    return rows
+
+
 ALL_EXPERIMENTS: dict[str, Callable[[], list[Row]]] = {
     "E1 latency (steps)": experiment_e1,
     "E2 quorum sizes": experiment_e2,
@@ -1091,4 +1291,6 @@ ALL_EXPERIMENTS: dict[str, Callable[[], list[Row]]] = {
     "E10 loss liveness": experiment_e10,
     "E11 lattice scaling": experiment_e11,
     "E12 checkpointing": experiment_e12,
+    "E13 generalized parity (batching)": experiment_e13,
+    "E13 generalized parity (memory)": experiment_e13_memory,
 }

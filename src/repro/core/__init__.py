@@ -19,20 +19,36 @@
 * :mod:`repro.core.invariants` -- run-level safety checkers.
 """
 
-from repro.core.messages import ANY, Nack, Phase1a, Phase1b, Phase2a, Phase2b, Propose
+from repro.core.checkpoint import CheckpointConfig, FrontierTracker, RetransmitConfig
+from repro.core.messages import (
+    ANY,
+    CatchUp,
+    Nack,
+    Phase1a,
+    Phase1b,
+    Phase2a,
+    Phase2b,
+    Propose,
+    ProposeBatch,
+)
 from repro.core.quorums import CoordinatorQuorums, QuorumSystem
 from repro.core.rounds import ZERO, RoundId, RoundSchedule
 
 __all__ = [
     "ANY",
+    "CatchUp",
+    "CheckpointConfig",
     "CoordinatorQuorums",
+    "FrontierTracker",
     "Nack",
     "Phase1a",
     "Phase1b",
     "Phase2a",
     "Phase2b",
     "Propose",
+    "ProposeBatch",
     "QuorumSystem",
+    "RetransmitConfig",
     "RoundId",
     "RoundSchedule",
     "ZERO",

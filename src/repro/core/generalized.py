@@ -32,17 +32,89 @@ Liveness (Section 4.3): coordinators optionally run the failure detector of
 single-coordinated) round when commands stay unserved past a timeout,
 which covers leader crashes, coordinator-quorum loss and persistent
 collisions with one mechanism.
+
+Production layers (engine parity with :mod:`repro.smr.instances`)
+-----------------------------------------------------------------
+
+Three opt-in layers bring the generalized engine to parity with the
+multi-instance engine; all are off by default and change no protocol
+outcome, only message/lattice-operation counts and memory:
+
+* **C-struct-aware batching** (:class:`GenBatchingConfig`).  Proposers
+  accumulate commands and ship them as one
+  :class:`repro.core.messages.ProposeBatch`; coordinators append the whole
+  group to their ``cval`` with a single ``extend`` and send *one* phase
+  "2a" per batch (and optionally coalesce single proposals on a flush
+  timer), so a burst of *m* commands costs one lattice extension and one
+  2a/2b round trip instead of *m* of each.  Fast rounds batch the same
+  way at the acceptors.
+
+* **Retransmission** (:class:`repro.core.checkpoint.RetransmitConfig`).
+  C-structs are cumulative -- every 2a/2b re-carries the sender's whole
+  current value -- so loss only strands the *tail* of a run.  Three
+  re-drivers heal it: proposers journal unacked commands and re-propose on
+  exponential backoff until a learner reports the command learned
+  (``Learned`` acks; coordinators re-ack proposals of already-learned
+  commands), coordinators re-announce their current 2a while commands stay
+  unserved, and learners periodically poll the acceptors
+  (:class:`repro.core.messages.CatchUp`) for their current votes.
+
+* **Stable-prefix checkpointing** (:class:`repro.core.checkpoint.
+  CheckpointConfig`).  Every learned command is *stable* -- decided and
+  delivered at that learner -- so learners periodically checkpoint their
+  replica at the current learned history, journal it under one overwritten
+  key and advertise it (``ICheckpoint`` carrying the prefix's command
+  *set*: histories interleave commuting commands, so a stable prefix is a
+  sub-lattice, not a sequence position).  Every role folds advertisements
+  into the collective safe frontier (:class:`repro.core.checkpoint.
+  FrontierTracker` over prefix sizes; the operative base is the
+  *intersection* of the contributing learners' sets) and garbage-collects
+  below it: histories are split with
+  :meth:`repro.cstruct.history.CommandHistory.stable_split` and only the
+  tail above the base is retained -- in memory, in messages and in the
+  acceptors' delta journals.  Laggards below the truncation floor (e.g. a
+  learner recovering from a crash after the cluster truncated past its
+  checkpoint) are healed by the chunked, resumable snapshot install of the
+  PR-4 machinery (``ISnapshotRequest``/``ISnapshotChunk``) followed by
+  ordinary vote replay.  Known bound: per-command *set* state still grows
+  with history -- the stable base and learners' seen-sets in memory (the
+  client-session-table analogue the multi-instance engine documents as a
+  follow-up), and the `members` payload of checkpoint advertisements plus
+  the full delivered sequence in snapshots/installs on the wire (a real
+  implementation ships a digest/id-interval and fetches on demand; see
+  ROADMAP).  What E13 pins as window-bounded is the *lattice* state --
+  histories, digraphs, vote journals -- which is what every per-event
+  lattice operation walks.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from itertools import combinations
 from math import comb
 from typing import Callable, Hashable
 
+from repro.core.checkpoint import (
+    CheckpointConfig,
+    FrontierTracker,
+    ICheckpoint,
+    ISnapshotChunk,
+    ISnapshotRequest,
+    ITruncated,
+    RetransmitConfig,
+)
 from repro.core.liveness import FailureDetector, Heartbeat, LivenessConfig
-from repro.core.messages import Learned, Nack, Phase1a, Phase1b, Phase2a, Phase2b, Propose
+from repro.core.messages import (
+    CatchUp,
+    Learned,
+    Nack,
+    Phase1a,
+    Phase1b,
+    Phase2a,
+    Phase2b,
+    Propose,
+    ProposeBatch,
+)
 from repro.core.provedsafe import proved_safe
 from repro.core.quorums import QuorumSystem
 from repro.core.rounds import ZERO, RoundId, RoundSchedule
@@ -51,6 +123,35 @@ from repro.cstruct.base import CStruct, IncompatibleError, glb_set
 from repro.cstruct.commands import Command
 from repro.sim.process import Process
 from repro.sim.scheduler import Simulation
+
+
+@dataclass
+class GenBatchingConfig:
+    """Batching knobs for the generalized engine.
+
+    Attributes:
+        max_batch: Commands per :class:`~repro.core.messages.ProposeBatch`;
+            reaching it flushes the proposer's buffer immediately.
+        flush_interval: Virtual-time deadline after the first buffered
+            command at which a partial batch is flushed anyway (also the
+            coordinators' coalescing deadline).
+        coordinator_group: Coordinators additionally coalesce *single*
+            proposals (from unbatched proposers, retransmissions, gossip)
+            for up to ``flush_interval``, so stragglers still ride a
+            grouped phase "2a" instead of each paying their own.
+            Batched proposals always forward immediately -- the group
+            already exists.
+    """
+
+    max_batch: int = 8
+    flush_interval: float = 2.0
+    coordinator_group: bool = True
+
+    def __post_init__(self) -> None:
+        if self.max_batch < 1:
+            raise ValueError("max_batch must be at least 1")
+        if self.flush_interval <= 0:
+            raise ValueError("flush_interval must be positive")
 
 
 @dataclass
@@ -65,32 +166,176 @@ class GeneralizedConfig:
     reduce_disk_writes: bool = True
     liveness: LivenessConfig | None = None
     learner_enumeration_limit: int = 64
+    batching: GenBatchingConfig | None = None
+    retransmit: RetransmitConfig | None = None
+    checkpoint: CheckpointConfig | None = None
 
     def __post_init__(self) -> None:
         if tuple(sorted(self.quorums.acceptors)) != tuple(sorted(self.topology.acceptors)):
             raise ValueError("quorum system must be defined over the topology's acceptors")
+        if self.checkpoint is not None:
+            if self.retransmit is None:
+                # Truncation makes the engine depend on the reliability
+                # layer: once histories are truncated, a missed message can
+                # only be healed by catch-up polling or snapshot install,
+                # and those re-drivers live behind RetransmitConfig.
+                raise ValueError("checkpoint requires retransmit (the catch-up layer)")
+            if (
+                self.checkpoint.gc_quorum is not None
+                and self.checkpoint.gc_quorum > len(self.topology.learners)
+            ):
+                raise ValueError(
+                    f"gc_quorum {self.checkpoint.gc_quorum} exceeds the"
+                    f" {len(self.topology.learners)} learners"
+                )
+            if not hasattr(self.bottom, "stable_split"):
+                # Truncation is defined on the history lattice (stable
+                # prefixes are downward-closed sub-histories); other
+                # c-struct sets have no such op.
+                raise ValueError(
+                    "checkpointing requires a c-struct with stable-prefix "
+                    "support (CommandHistory)"
+                )
+
+
+class _StableState:
+    """Per-process view of the cluster's stable (checkpointed) prefix.
+
+    Folds ``ICheckpoint`` advertisements into the collective safe bound
+    (:class:`FrontierTracker` over advertised prefix *sizes*) and derives
+    the operative GC base: the *intersection* of the member sets of the
+    learners whose frontiers justify the bound.  The intersection is what
+    makes truncation safe under commuting-command divergence -- a command
+    is only dropped once every counted learner has it in a durable
+    checkpoint, so no counted learner can be stranded waiting for it.
+    ``union`` accumulates every advertised-stable command and is used to
+    reconcile transient base skew between processes (a command stable
+    *somewhere durable* can always be discounted from a compatibility
+    check).  Bases grow along a chain: a learner's later checkpoint
+    contains its earlier one, so intersections only ever widen.
+    """
+
+    def __init__(self, config: GeneralizedConfig) -> None:
+        self.tracker = FrontierTracker.from_config(config)
+        self.members: dict[Hashable, frozenset] = {}
+        self.union: frozenset = frozenset()
+        self.bound = 0
+        self.base: frozenset = frozenset()
+
+    @property
+    def enabled(self) -> bool:
+        return self.tracker is not None
+
+    def fold(self, src: Hashable, frontier: int, members) -> frozenset | None:
+        """Record one advertisement; return the new base when it grows."""
+        if self.tracker is None:
+            return None
+        self.tracker.update(src, frontier)
+        if members:
+            previous = self.members.get(src)
+            if previous is None or len(members) > len(previous):
+                self.members[src] = members
+                self.union = self.union | members
+        bound = self.tracker.safe_bound()
+        if bound <= self.bound:
+            return None
+        sets = [self.members.get(pid) for pid in self.tracker.contributors(bound)]
+        if not sets or any(s is None for s in sets):
+            return None  # a contributor's member set is still in flight
+        self.bound = bound
+        base = frozenset.intersection(*sets)
+        if len(base) <= len(self.base):
+            return None
+        self.base = base
+        return base
+
+
+@dataclass
+class _GenRetry:
+    """Per-command retransmission bookkeeping at a proposer."""
+
+    timer: object
+    interval: float
+    attempts: int = 0
 
 
 class GenProposer(Process):
-    """Proposes commands; optionally picks per-command quorums (Section 4.1)."""
+    """Proposes commands; optionally picks per-command quorums (Section 4.1).
+
+    With batching enabled the proposer is the *batcher*: commands are
+    buffered and shipped as one :class:`ProposeBatch` when the buffer
+    reaches ``max_batch`` or ``flush_interval`` after the first buffered
+    command, whichever comes first.  With retransmission enabled every
+    shipped command is journalled and re-proposed on a backoff timer until
+    some learner reports it learned (``Learned``) -- c-struct cumulativeness
+    plus the learners' catch-up polling then spread it everywhere.
+    """
 
     def __init__(self, pid: str, sim: Simulation, config: GeneralizedConfig) -> None:
         super().__init__(pid, sim)
         self.config = config
         self.balance_load = False
         self.balance_fast = False  # pick fast-sized acceptor quorums instead
+        self.retransmissions = 0
+        self._buffer: list[Command] = []
+        self._buffer_set: set[Command] = set()
+        self._flush_timer = None
+        self._unacked: dict[Command, _GenRetry] = {}
+        self._stable = _StableState(config)
 
     def propose(self, cmd: Command) -> None:
         self.metrics.record_propose(cmd, self.now)
+        if self.config.batching is None:
+            self._ship((cmd,))
+            return
+        if cmd in self._buffer_set or cmd in self._unacked:
+            return  # already buffered or in retransmission flight
+        self._buffer.append(cmd)
+        self._buffer_set.add(cmd)
+        self._journal_buffer()
+        if len(self._buffer) >= self.config.batching.max_batch:
+            self.flush()
+        elif self._flush_timer is None:
+            self._flush_timer = self.set_timer(
+                self.config.batching.flush_interval, self._flush_deadline
+            )
+
+    def flush(self) -> None:
+        """Ship the buffered partial batch now (no-op when empty)."""
+        if self._flush_timer is not None:
+            self.drop_timer(self._flush_timer)
+            self._flush_timer = None
+        if not self._buffer:
+            return
+        cmds = tuple(self._buffer)
+        self._buffer = []
+        self._buffer_set = set()
+        self._journal_buffer()
+        self._ship(cmds)
+
+    def _flush_deadline(self) -> None:
+        self._flush_timer = None
+        self.flush()
+
+    def _ship(self, cmds: tuple[Command, ...]) -> None:
         coord_quorum = None
         acceptor_quorum = None
         if self.balance_load:
             coord_quorum, acceptor_quorum = self._pick_quorums()
-        msg = Propose(cmd, coord_quorum=coord_quorum, acceptor_quorum=acceptor_quorum)
+        if len(cmds) == 1 and self.config.batching is None:
+            msg = Propose(cmds[0], coord_quorum=coord_quorum, acceptor_quorum=acceptor_quorum)
+        else:
+            msg = ProposeBatch(cmds, coord_quorum=coord_quorum, acceptor_quorum=acceptor_quorum)
         # Every coordinator hears the proposal (the leader's stuck
         # detection needs it); only the chosen quorum forwards it.
         self.broadcast(self.config.topology.coordinators, msg)
         self.broadcast(self.config.topology.acceptors, msg)
+        if self.config.retransmit is not None:
+            changed = False
+            for cmd in cmds:
+                changed = self._register_unacked(cmd) or changed
+            if changed:
+                self._journal_unacked()
 
     def _pick_quorums(self) -> tuple[frozenset[int], frozenset[str]]:
         """Uniformly choose one coordinator quorum and one acceptor quorum."""
@@ -102,6 +347,93 @@ class GenProposer(Process):
         a_size = self.config.quorums.quorum_size(fast=self.balance_fast)
         acceptor_quorum = frozenset(rng.sample(accs, a_size))
         return coord_quorum, acceptor_quorum
+
+    # -- retransmission ----------------------------------------------------------
+
+    def _register_unacked(self, cmd: Command) -> bool:
+        retransmit = self.config.retransmit
+        if retransmit is None or cmd in self._unacked:
+            return False
+        state = _GenRetry(timer=None, interval=retransmit.retry_interval)
+        state.timer = self.set_timer(state.interval, lambda: self._retry(cmd))
+        self._unacked[cmd] = state
+        return True
+
+    def _retry(self, cmd: Command) -> None:
+        state = self._unacked.get(cmd)
+        retransmit = self.config.retransmit
+        if state is None or retransmit is None:
+            return
+        state.attempts += 1
+        state.interval = min(state.interval * retransmit.backoff, retransmit.max_interval)
+        self.retransmissions += 1
+        # Singles on the retry path: retries are rare and coordinator-side
+        # grouping coalesces them with any concurrent traffic.
+        msg = Propose(cmd)
+        self.broadcast(self.config.topology.coordinators, msg)
+        self.broadcast(self.config.topology.acceptors, msg)
+        state.timer = self.set_timer(state.interval, lambda: self._retry(cmd))
+
+    def on_learned(self, msg: Learned, src: Hashable) -> None:
+        """A learner (or coordinator echo) reports commands learned: retire."""
+        changed = False
+        for cmd in msg.cmds:
+            changed = self._retire(cmd) or changed
+        if changed:
+            self._journal_unacked()
+
+    def _retire(self, cmd: Command) -> bool:
+        state = self._unacked.pop(cmd, None)
+        if state is None:
+            return False
+        if state.timer is not None:
+            self.drop_timer(state.timer)
+        return True
+
+    def on_icheckpoint(self, msg: ICheckpoint, src: Hashable) -> None:
+        """Checkpointed commands are learned by policy: retire them."""
+        base = self._stable.fold(src, msg.frontier, msg.members)
+        if base is None:
+            return
+        changed = False
+        for cmd in [c for c in self._unacked if c in base]:
+            changed = self._retire(cmd) or changed
+        if changed:
+            self._journal_unacked()
+
+    def _journal_unacked(self) -> None:
+        self.storage.write("gen_unacked", tuple(self._unacked))
+
+    def _journal_buffer(self) -> None:
+        if self.config.retransmit is not None:
+            self.storage.write("gen_batch", tuple(self._buffer))
+
+    # -- crash-recovery -----------------------------------------------------------
+
+    def on_crash(self) -> None:
+        self._buffer = []
+        self._buffer_set = set()
+        self._flush_timer = None
+        self._unacked = {}
+        self._stable = _StableState(self.config)
+
+    def on_recover(self) -> None:
+        if self.config.retransmit is None:
+            return
+        # Re-ship everything journalled: unacked commands and the batch
+        # buffer lost mid-fill.  Duplicates are deduplicated end to end.
+        buffered = self.storage.read("gen_batch", ())
+        unacked = self.storage.read("gen_unacked", ())
+        for cmd in buffered:
+            if cmd not in unacked:
+                self.propose(cmd)
+        self.flush()
+        for cmd in unacked:
+            self._register_unacked(cmd)
+            msg = Propose(cmd)
+            self.broadcast(self.config.topology.coordinators, msg)
+            self.broadcast(self.config.topology.acceptors, msg)
+        self._journal_unacked()
 
 
 class GenCoordinator(Process):
@@ -122,8 +454,12 @@ class GenCoordinator(Process):
         # delta instead of rescanning the whole known_cmds list per event.
         self._unforwarded: list[Command] = []
         self.rounds_started = 0
+        self.reannounced_2a = 0
+        self.redriven_1a = 0
         self._p1b: dict[RoundId, dict[Hashable, Phase1b]] = {}
         self._acceptor_hint: dict[Command, frozenset[str]] = {}
+        self._fwd_timer = None
+        self._stable = _StableState(config)
         # Liveness state.
         self._fd: FailureDetector | None = None
         self._unserved: dict[Command, float] = {}
@@ -135,6 +471,10 @@ class GenCoordinator(Process):
                 self, index, peers, config.liveness, on_check=self._progress_check
             )
             self._fd.start()
+        if config.retransmit is not None:
+            self.set_periodic_timer(
+                config.retransmit.gossip_interval, self._reliability_tick
+            )
 
     # -- round management ------------------------------------------------------
 
@@ -157,17 +497,55 @@ class GenCoordinator(Process):
     # -- proposals (Phase2aClassic) ------------------------------------------------
 
     def on_propose(self, msg: Propose, src: Hashable) -> None:
-        cmd = msg.cmd
-        if cmd not in self._unserved and cmd not in self._learned_cmds:
+        self._note_proposal(msg.cmd, msg.coord_quorum, msg.acceptor_quorum, src)
+        self._queue_forward()
+
+    def on_proposebatch(self, msg: ProposeBatch, src: Hashable) -> None:
+        for cmd in msg.cmds:
+            self._note_proposal(cmd, msg.coord_quorum, msg.acceptor_quorum, src)
+        # The batch already groups its commands; forward immediately (one
+        # extend, one 2a), flushing any coalescing singles along with it.
+        self._flush_forward()
+
+    def _note_proposal(
+        self, cmd: Command, coord_quorum, acceptor_quorum, src: Hashable
+    ) -> None:
+        if cmd in self._stable.base or cmd in self._learned_cmds:
+            if self.config.retransmit is not None:
+                # The proposer is retrying a command that is already
+                # learned (its ack was lost): re-ack instead of re-serving.
+                self.send(src, Learned((cmd,), self.pid))
+            return
+        if cmd not in self._unserved:
             self._unserved[cmd] = self.now
-        if msg.coord_quorum is not None and self.index not in msg.coord_quorum:
+        if coord_quorum is not None and self.index not in coord_quorum:
             return
         if cmd not in self._known:
             self._known.add(cmd)
             self.known_cmds.append(cmd)
             self._unforwarded.append(cmd)
-            if msg.acceptor_quorum is not None:
-                self._acceptor_hint[cmd] = msg.acceptor_quorum
+            if acceptor_quorum is not None:
+                self._acceptor_hint[cmd] = acceptor_quorum
+
+    def _queue_forward(self) -> None:
+        """Forward now, or coalesce singles until the batch deadline."""
+        batching = self.config.batching
+        if batching is None or not batching.coordinator_group:
+            self._forward_pending()
+            return
+        if len(self._unforwarded) >= batching.max_batch:
+            self._flush_forward()
+            return
+        if self._unforwarded and self._fwd_timer is None:
+            self._fwd_timer = self.set_timer(
+                batching.flush_interval, self._flush_forward
+            )
+
+    def _flush_forward(self) -> None:
+        """Forward the coalesced group now (public via cluster.flush())."""
+        if self._fwd_timer is not None:
+            self.drop_timer(self._fwd_timer)
+            self._fwd_timer = None
         self._forward_pending()
 
     def _forward_pending(self) -> None:
@@ -175,7 +553,9 @@ class GenCoordinator(Process):
 
         Only the suffix of commands not yet in ``cval`` is examined, so a
         burst of proposals costs O(new·conflicts) lattice work instead of
-        rescanning the entire command history per proposal.
+        rescanning the entire command history per proposal -- and with
+        batching the whole group is appended by a *single* ``extend`` and
+        announced by a single phase "2a".
         """
         if self.cval is None or self.crnd == ZERO:
             return
@@ -226,6 +606,14 @@ class GenCoordinator(Process):
 
     def _phase2start(self, msgs: dict[Hashable, Phase1b]) -> None:
         """Pick ``v = w • σ`` with ``w ∈ ProvedSafe(Q, 1bMsg)`` and send it."""
+        if self._stable.enabled and self._stable.base:
+            # Normalize reported votes into this coordinator's base frame:
+            # acceptors may lag behind in truncation and report votes still
+            # carrying stable-prefix commands.
+            msgs = {
+                acc: replace(m, vval=m.vval.without(self._stable.base))
+                for acc, m in msgs.items()
+            }
         picks = proved_safe(self.config.quorums, msgs, self.config.schedule.is_fast)
         value = max(picks, key=lambda v: (len(v.command_set()), str(v)))
         if not self.config.schedule.is_fast(self.crnd):
@@ -255,9 +643,55 @@ class GenCoordinator(Process):
 
     def on_nack(self, msg: Nack, src: Hashable) -> None:
         self.highest_seen = max(self.highest_seen, msg.higher)
+        if (
+            self.config.retransmit is not None
+            and msg.higher > self.crnd
+            and not self.config.schedule.is_fast(msg.higher)
+            and self.config.schedule.is_coordinator_of(self.index, msg.higher)
+        ):
+            # An acceptor already advanced to a classic round we
+            # coordinate (its 1b to us was lost): adopt it so the
+            # reliability tick's 1a re-drive targets the round the
+            # acceptors are actually in, instead of re-announcing a stale
+            # one forever.  Fast-typed rounds are excluded: a recovered
+            # acceptor's §4.4 MCount-bump watermark ⟨m:0,c-1,t0⟩ reports
+            # as fast, is nobody's working round, and must be out-raced
+            # by the liveness layer, not adopted.
+            self._adopt(msg.higher)
 
     def is_leader(self) -> bool:
         return self._fd.is_leader() if self._fd is not None else self.index == 0
+
+    def _reliability_tick(self) -> None:
+        """Re-drive the in-flight tail: flush stragglers, re-announce.
+
+        A lost 2a is healed for free by the *next* one (cval is
+        cumulative); the re-announce covers the case where no next one is
+        coming -- the tail of a run, or a lull -- while any command this
+        coordinator served remains unlearned.  A coordinator stuck in
+        phase 1 (``cval is None``: a round change whose 1a or 1b messages
+        were lost) re-sends its 1a instead -- acceptors answer duplicate
+        current-round 1as with a fresh 1b, so phase 1 completes on any
+        fair-lossy link.
+        """
+        if self._unforwarded:
+            self._flush_forward()
+        if (
+            self.crnd == ZERO
+            or not self._unserved
+            or self.config.schedule.is_fast(self.crnd)
+            or not self.config.schedule.is_coordinator_of(self.index, self.crnd)
+        ):
+            return
+        if self.cval is not None:
+            self.reannounced_2a += 1
+            self.broadcast(
+                self.config.topology.acceptors,
+                Phase2a(self.crnd, self.cval, self.index),
+            )
+        else:
+            self.redriven_1a += 1
+            self.broadcast(self.config.topology.acceptors, Phase1a(self.crnd))
 
     def _progress_check(self) -> None:
         """Leader-only: start a recovery round when commands stay unserved."""
@@ -282,6 +716,26 @@ class GenCoordinator(Process):
         )
         self.start_round(rnd)
 
+    # -- checkpointing / GC ---------------------------------------------------------
+
+    def on_icheckpoint(self, msg: ICheckpoint, src: Hashable) -> None:
+        base = self._stable.fold(src, msg.frontier, msg.members)
+        if base is not None:
+            self._apply_gc(base)
+
+    def _apply_gc(self, base: frozenset) -> None:
+        """Retire every stable-prefix command from the working state."""
+        if self.cval is not None:
+            self.cval = self.cval.without(base)
+        self.known_cmds = [c for c in self.known_cmds if c not in base]
+        self._known -= base
+        self._unforwarded = [c for c in self._unforwarded if c not in base]
+        self._learned_cmds -= base  # dedup moves to the stable base itself
+        for cmd in [c for c in self._unserved if c in base]:
+            del self._unserved[cmd]
+        for cmd in [c for c in self._acceptor_hint if c in base]:
+            del self._acceptor_hint[cmd]
+
     # -- crash-recovery -------------------------------------------------------------
 
     def on_crash(self) -> None:
@@ -294,14 +748,27 @@ class GenCoordinator(Process):
         self._p1b = {}
         self._unserved = {}
         self._learned_cmds = set()
+        self._fwd_timer = None
+        self._stable = _StableState(self.config)
 
     def on_recover(self) -> None:
         if self._fd is not None:
             self._fd.start()
-
+        if self.config.retransmit is not None:
+            self.set_periodic_timer(
+                self.config.retransmit.gossip_interval, self._reliability_tick
+            )
 
 class GenAcceptor(Process):
-    """An acceptor of the generalized algorithm."""
+    """An acceptor of the generalized algorithm.
+
+    With checkpointing enabled the acceptor journals its vote as a
+    *delta log*: each acceptance appends the fresh command group to a
+    prefix-keyed journal (one batched disk write per accept, independent
+    of history size) instead of rewriting the whole c-struct, and GC
+    rewrites the journal to the retained tail above the stable base.
+    Recovery replays the journal onto the recorded base.
+    """
 
     def __init__(self, pid: str, sim: Simulation, config: GeneralizedConfig) -> None:
         super().__init__(pid, sim)
@@ -320,6 +787,14 @@ class GenAcceptor(Process):
         # re-checking all buffered pairs.
         self._p2a_merge: dict[RoundId, CStruct] = {}
         self._collided: set[RoundId] = set()
+        self._stable = _StableState(config)
+        self._journal_next = 0  # next index of the "gvote" delta journal
+        self._persisted_vrnd: RoundId = ZERO
+        # The bound this acceptor has actually truncated to.  Distinct
+        # from _stable.bound: fold can advance the collective bound
+        # without the base (hence the vote tail) changing, and catch-up
+        # answers must only advertise floors that were really applied.
+        self.gc_floor = 0
         self.storage.write("mcount", 0)
 
     # -- phase 1 ---------------------------------------------------------------------
@@ -328,6 +803,11 @@ class GenAcceptor(Process):
         if msg.rnd <= self.rnd:
             if msg.rnd < self.rnd:
                 self.send(src, Nack(msg.rnd, self.rnd, self.pid))
+            elif self.config.retransmit is not None:
+                # Duplicate 1a of the current round: the reliability
+                # tick's phase-1 re-drive, healing a lost 1b.  Answering
+                # again is idempotent -- the 1b carries the current vote.
+                self._send_1b(msg.rnd)
             return
         self._advance_round(msg.rnd)
         self._send_1b(msg.rnd)
@@ -349,11 +829,23 @@ class GenAcceptor(Process):
 
     # -- phase 2b (classic) ------------------------------------------------------------
 
+    def _normalize(self, val: CStruct) -> CStruct:
+        """Strip this acceptor's stable base from an incoming c-struct.
+
+        Senders lagging behind in truncation still carry stable-prefix
+        commands; receivers fold everything into their own base frame
+        before comparing or merging.  Identity when checkpointing is off.
+        """
+        if self._stable.enabled and self._stable.base:
+            return val.without(self._stable.base)
+        return val
+
     def on_phase2a(self, msg: Phase2a, src: Hashable) -> None:
         rnd = msg.rnd
         if rnd < self.rnd:
             self.send(src, Nack(rnd, self.rnd, self.pid))
             return
+        val = self._normalize(msg.val)
         buffer = self._p2a.setdefault(rnd, {})
         # A coordinator's cval grows monotonically within a round, but the
         # network may reorder its "2a" messages; keep the largest seen so a
@@ -361,28 +853,28 @@ class GenAcceptor(Process):
         previous = buffer.get(msg.coord)
         changed = True
         if previous is None:
-            buffer[msg.coord] = msg.val
-        elif len(previous.command_set()) < len(msg.val.command_set()):
+            buffer[msg.coord] = val
+        elif len(previous.command_set()) < len(val.command_set()):
             # Strictly more commands: newer on the coordinator's monotone
             # growth path (a reordered older message can only be smaller),
             # or a post-crash fork -- either way the larger value stands
             # and any incompatibility surfaces in the collision check.
-            buffer[msg.coord] = msg.val
-        elif previous is msg.val or previous == msg.val:
+            buffer[msg.coord] = val
+        elif previous is val or previous == val:
             changed = False  # duplicate delivery
-        elif len(previous.command_set()) == len(msg.val.command_set()):
-            buffer[msg.coord] = msg.val  # same-size fork: surface the collision
-        elif msg.val.leq(previous):
+        elif len(previous.command_set()) == len(val.command_set()):
+            buffer[msg.coord] = val  # same-size fork: surface the collision
+        elif val.leq(previous):
             changed = False  # stale reordered message
         else:
-            buffer[msg.coord] = msg.val  # smaller incompatible fork: surface it
-        if changed and self._detect_collision(rnd, msg.val):
+            buffer[msg.coord] = val  # smaller incompatible fork: surface it
+        if changed and self._detect_collision(rnd, val):
             # An unchanged buffer cannot newly collide; only re-check after
             # an update.
             return
         if self.config.schedule.is_fast(rnd):
             # Fast rounds: a single coordinator's "2a" suffices (Section 3.3).
-            self._accept_classic(rnd, msg.val)
+            self._accept_classic(rnd, val)
             self._try_fast_append()
             return
         if not changed:
@@ -392,8 +884,8 @@ class GenAcceptor(Process):
             return
         if (
             self.vrnd == rnd
-            and len(msg.val.command_set()) <= len(self.vval.command_set())
-            and msg.val.leq(self.vval)
+            and len(val.command_set()) <= len(self.vval.command_set())
+            and val.leq(self.vval)
         ):
             # Redundant delivery: this coordinator's contribution is below
             # the accepted value, so every quorum glb it participates in is
@@ -420,6 +912,14 @@ class GenAcceptor(Process):
         with their lub and vice versa (CS3: a pairwise-compatible set is
         jointly compatible), so one lub per delivery replaces the O(k²)
         pairwise scan.
+
+        With checkpointing enabled an apparent incompatibility can also be
+        transient base skew: the two values were truncated at different
+        stable prefixes, so one side is missing ordering constraints the
+        other still carries.  Commands known stable *somewhere durable*
+        (the advertised-member union) are beyond collision by definition
+        -- they are learned -- so the detector retries compatibility with
+        them stripped from both sides before declaring a collision.
         """
         if self.config.schedule.is_fast(rnd) or rnd in self._collided:
             return False
@@ -432,6 +932,24 @@ class GenAcceptor(Process):
             return False
         except IncompatibleError:
             pass
+        if self._stable.enabled and self._stable.union:
+            reconciled_a = merge.without(self._stable.union)
+            reconciled_b = new_val.without(self._stable.union)
+            try:
+                self._p2a_merge[rnd] = reconciled_a.lub(reconciled_b)
+                return False
+            except IncompatibleError:
+                pass
+        if len(self._p2a.get(rnd, ())) < 2:
+            # A Section 4.2 collision needs *two* coordinators forwarding
+            # incompatible c-structs; a single reporter's values can only
+            # disagree through truncation skew (the coordinator GC'd
+            # between 2as before our base caught up) or a post-crash
+            # fork, where the buffer's keep-the-largest rule already
+            # arbitrates.  Reset the detector to the newest value instead
+            # of burning a round.
+            self._p2a_merge[rnd] = new_val
+            return False
         self._collided.add(rnd)
         self.collisions_detected += 1
         next_rnd = self.config.schedule.next_round(rnd)
@@ -444,6 +962,7 @@ class GenAcceptor(Process):
         """Phase2bClassic(a, i): accept ``u``, merging via ⊔ within a round."""
         if rnd < self.rnd:
             return
+        extension = True
         if self.vrnd == rnd:
             if lower_bound.leq(self.vval):
                 return  # nothing new to accept or report
@@ -455,6 +974,9 @@ class GenAcceptor(Process):
                 return
         else:
             new_value = lower_bound
+            # Only the delta journal cares whether the new round's pick
+            # extends the previous vote; skip the check otherwise.
+            extension = self.config.checkpoint is None or self.vval.leq(new_value)
         gained = new_value.command_set() - self.vval.command_set()
         self.commands_accepted += len(gained)
         # Delta hint for learners: the commands this acceptance added, in
@@ -463,7 +985,7 @@ class GenAcceptor(Process):
         self._advance_round(rnd)
         self.vrnd = rnd
         self.vval = new_value
-        self._persist_vote()
+        self._persist_vote(fresh, extension)
         self._broadcast_2b(fresh)
 
     # -- phase 2b (fast) ---------------------------------------------------------------
@@ -471,10 +993,21 @@ class GenAcceptor(Process):
     def on_propose(self, msg: Propose, src: Hashable) -> None:
         if msg.acceptor_quorum is not None and self.pid not in msg.acceptor_quorum:
             return
-        if msg.cmd not in self._pending_set:
-            self._pending_set.add(msg.cmd)
-            self.pending.append(msg.cmd)
+        self._note_pending(msg.cmd)
         self._try_fast_append()
+
+    def on_proposebatch(self, msg: ProposeBatch, src: Hashable) -> None:
+        if msg.acceptor_quorum is not None and self.pid not in msg.acceptor_quorum:
+            return
+        for cmd in msg.cmds:
+            self._note_pending(cmd)
+        self._try_fast_append()
+
+    def _note_pending(self, cmd: Command) -> None:
+        if cmd in self._pending_set or cmd in self._stable.base:
+            return
+        self._pending_set.add(cmd)
+        self.pending.append(cmd)
 
     def _try_fast_append(self) -> None:
         """Phase2bFast(a): extend vval with proposals in an open fast round."""
@@ -487,14 +1020,35 @@ class GenAcceptor(Process):
         self.fast_accepts += len(appended)
         self.commands_accepted += len(appended)
         self.vval = grown
-        self._persist_vote()
+        self._persist_vote(tuple(appended), True)
         self._broadcast_2b(tuple(appended))
 
     # -- shared helpers --------------------------------------------------------------
 
-    def _persist_vote(self) -> None:
-        self.storage.write_many({"vrnd": self.vrnd, "vval": self.vval})
+    def _persist_vote(self, fresh: tuple[Command, ...], extension: bool) -> None:
+        if self.config.checkpoint is None:
+            self.storage.write_many({"vrnd": self.vrnd, "vval": self.vval})
+        else:
+            # Delta journal: one batched append per accept.  A
+            # non-extension accept (a new round's pick replacing dropped
+            # commands) invalidates the replay order, so the journal is
+            # rewritten to the new tail wholesale -- rare (round changes
+            # only), and still one batched write.
+            if extension:
+                self.storage.append_many("gvote", self._journal_next, fresh)
+                self._journal_next += len(fresh)
+            else:
+                self._rewrite_journal()
+            if self.vrnd != self._persisted_vrnd:
+                self.storage.write("gvrnd", self.vrnd)
+                self._persisted_vrnd = self.vrnd
         self.metrics.custom["acceptor_disk_writes"] += 1
+
+    def _rewrite_journal(self) -> None:
+        self.storage.clear("gvote")
+        tail = self.vval.linear_extension()
+        self.storage.append_many("gvote", self._journal_next, tail)
+        self._journal_next += len(tail)
 
     def _broadcast_2b(self, fresh: tuple[Command, ...] | None = None) -> None:
         vote = Phase2b(self.vrnd, self.vval, self.pid, fresh=fresh)
@@ -504,6 +1058,43 @@ class GenAcceptor(Process):
                 self.config.schedule.coordinators_of(self.vrnd)
             )
             self.broadcast(coords, vote)
+
+    # -- catch-up / checkpointing -----------------------------------------------------
+
+    def on_catchup(self, msg: CatchUp, src: Hashable) -> None:
+        """Re-send the current vote: cumulative, so it heals any lost 2b."""
+        if self.config.retransmit is None:
+            return
+        if self.gc_floor > msg.seen:
+            # The poller is below our *applied* truncation floor: our vote
+            # tail no longer carries what it is missing -- steer it to
+            # install.  (The collective bound alone is not evidence: it
+            # can advance without this acceptor having truncated.)
+            self.send(src, ITruncated(self.gc_floor))
+        if self.vrnd != ZERO:
+            self.send(src, Phase2b(self.vrnd, self.vval, self.pid, fresh=None))
+
+    def on_icheckpoint(self, msg: ICheckpoint, src: Hashable) -> None:
+        base = self._stable.fold(src, msg.frontier, msg.members)
+        if base is not None:
+            self._apply_gc(base)
+
+    def _apply_gc(self, base: frozenset) -> None:
+        """Truncate the vote (and every buffer) below the stable base."""
+        self.vval = self.vval.without(base)
+        self.pending = [c for c in self.pending if c not in base]
+        self._pending_set -= base
+        for buffer in self._p2a.values():
+            for coord in list(buffer):
+                buffer[coord] = buffer[coord].without(base)
+        for rnd in list(self._p2a_merge):
+            self._p2a_merge[rnd] = self._p2a_merge[rnd].without(base)
+        # Journal compaction: rewrite to the retained tail (one batched
+        # write) and durably record the base so recovery can tell
+        # "truncated because checkpointed" from "never voted".
+        self._rewrite_journal()
+        self.gc_floor = self._stable.bound
+        self.storage.write("gbase", (self.gc_floor, base))
 
     # -- crash-recovery -----------------------------------------------------------------
 
@@ -516,17 +1107,32 @@ class GenAcceptor(Process):
         self._p2a = {}
         self._p2a_merge = {}
         self._collided = set()
+        self._stable = _StableState(self.config)
+        self._journal_next = 0
+        self._persisted_vrnd = ZERO
+        self.gc_floor = 0
 
     def on_recover(self) -> None:
-        self.vrnd = self.storage.read("vrnd", ZERO)
-        self.vval = self.storage.read("vval", self.config.bottom)
+        if self.config.checkpoint is None:
+            self.vrnd = self.storage.read("vrnd", ZERO)
+            self.vval = self.storage.read("vval", self.config.bottom)
+        else:
+            self.vrnd = self.storage.read("gvrnd", ZERO)
+            self._persisted_vrnd = self.vrnd
+            bound, base = self.storage.read("gbase", (0, frozenset()))
+            self._stable.bound = bound
+            self._stable.base = base
+            self._stable.union = base
+            self.gc_floor = bound
+            entries = self.storage.prefix_items("gvote")
+            self.vval = self.config.bottom.extend(value for _, value in entries)
+            self._journal_next = entries[-1][0] + 1 if entries else 0
         if self.config.reduce_disk_writes:
             mcount = self.storage.read("mcount", 0) + 1
             self.storage.write("mcount", mcount)
             self.rnd = RoundId(mcount=mcount, count=0, coord=-1, rtype=0)
         else:
             self.rnd = self.storage.read("rnd", ZERO)
-
 
 class GenLearner(Process):
     """Learns ever-growing c-structs from quorums of "2b" messages.
@@ -542,6 +1148,18 @@ class GenLearner(Process):
     for the callbacks -- is then a membership test against these
     frontiers.  Redundant "2b" deliveries (quorum echoes, duplicates,
     re-sends) short-circuit in O(delta) before any lattice operation runs.
+
+    With checkpointing enabled the learner is the engine's snapshotter:
+    every ``interval`` learned commands it captures the attached replica's
+    state at the current learned history (a *stable prefix* -- everything
+    learned is decided and delivered here), journals the checkpoint under
+    one overwritten key, truncates its own learned tail below the
+    collective base and advertises the frontier (``ICheckpoint`` with the
+    prefix's command set).  A laggard below the cluster's truncation floor
+    -- detected by an advertisement whose members it has not learned, or an
+    acceptor's ``ITruncated`` -- pulls a peer checkpoint in chunks
+    (resumable under loss) and resumes ordinary vote replay above it;
+    crash recovery restores the learner's own journalled checkpoint first.
     """
 
     def __init__(self, pid: str, sim: Simulation, config: GeneralizedConfig) -> None:
@@ -550,7 +1168,8 @@ class GenLearner(Process):
         self.learned: CStruct = config.bottom
         self._latest: dict[RoundId, dict[Hashable, CStruct]] = {}
         self._callbacks: list[Callable[[tuple[Command, ...], CStruct], None]] = []
-        # Executed frontier: exactly the commands of self.learned.
+        # Executed frontier: every command ever learned (stable base
+        # included -- ``learned`` itself only holds the tail above it).
         self._seen: set[Command] = set(config.bottom.command_set())
         # Per-acceptor (for the acceptor's most recent round): commands of
         # the recorded vote not yet learned, plus the vote's round and size
@@ -560,10 +1179,46 @@ class GenLearner(Process):
         self._vote_unseen: dict[Hashable, set[Command]] = {}
         self._vote_rnd: dict[Hashable, RoundId] = {}
         self._vote_size: dict[Hashable, int] = {}
+        # Checkpointing state.
+        self._stable = _StableState(config)
+        self._replica = None  # set via register_replica (BroadcastReplica)
+        self.delivered: list[Command] = []  # full learn-order sequence
+        self.snap_frontier = 0
+        self.snapshots_taken = 0
+        self.snapshot_installs = 0
+        self.snapshot_chunks_sent = 0
+        self.catchup_requests = 0
+        self.lub_skips = 0  # chosen candidates skipped on base skew
+        self._snap_members: frozenset = frozenset()
+        self._bytes_since_snap = 0
+        self._peer_frontiers: dict[Hashable, tuple[int, frozenset]] = {}
+        self._pending_install: dict | None = None
+        self._install_avoid: Hashable | None = None  # last stalled-out source
+        if config.retransmit is not None:
+            self.set_periodic_timer(
+                config.retransmit.catchup_interval, self._catchup_tick
+            )
+        if config.checkpoint is not None:
+            self.set_periodic_timer(
+                config.checkpoint.advertise_interval, self._advertise
+            )
 
     def on_learn(self, callback: Callable[[tuple[Command, ...], CStruct], None]) -> None:
         """Register ``callback(new_commands, learned)`` for learn events."""
         self._callbacks.append(callback)
+
+    def register_replica(self, replica) -> None:
+        """Attach the replica whose machine state our checkpoints capture."""
+        self._replica = replica
+
+    def has_learned(self, cmd: Command) -> bool:
+        """O(1): was *cmd* ever learned here (stable base included)?
+
+        ``learned.contains`` is wrong once checkpointing truncates the
+        stable prefix out of ``learned``; this is the engine's durable
+        membership test.
+        """
+        return cmd in self._seen
 
     def _note_vote(
         self, rnd: RoundId, acceptor: Hashable, vote: CStruct, fresh
@@ -604,6 +1259,10 @@ class GenLearner(Process):
         return {c for c in vote.command_set() if c not in self._seen}
 
     def on_phase2b(self, msg: Phase2b, src: Hashable) -> None:
+        val = msg.val
+        if self._stable.enabled and self._stable.base:
+            # Fold lagging-truncation votes into our base frame.
+            val = val.without(self._stable.base)
         votes = self._latest.setdefault(msg.rnd, {})
         # An acceptor's vval grows monotonically within a round (and
         # survives crashes via stable storage), so vote sizes order vote
@@ -611,10 +1270,10 @@ class GenLearner(Process):
         # comparison replaces a per-delivery leq entirely.
         previous = votes.get(msg.acceptor)
         if previous is None or (
-            len(previous.command_set()) < len(msg.val.command_set())
+            len(previous.command_set()) < len(val.command_set())
         ):
-            votes[msg.acceptor] = msg.val
-            self._note_vote(msg.rnd, msg.acceptor, msg.val, msg.fresh)
+            votes[msg.acceptor] = val
+            self._note_vote(msg.rnd, msg.acceptor, val, msg.fresh)
         needed = self.config.quorums.quorum_size(
             fast=self.config.schedule.is_fast(msg.rnd)
         )
@@ -647,6 +1306,15 @@ class GenLearner(Process):
             try:
                 new_learned = new_learned.lub(chosen)
             except IncompatibleError:
+                if self.config.checkpoint is not None:
+                    # Transient base skew (the quorum's votes were
+                    # truncated at different stable prefixes than ours):
+                    # skip this candidate; the retransmission layer
+                    # re-delivers once bases converge.  Without
+                    # checkpointing an incompatible chosen value is a
+                    # protocol-safety violation and must crash.
+                    self.lub_skips += 1
+                    continue
                 raise AssertionError(
                     f"learner {self.pid}: chosen value incompatible with learned "
                     f"({chosen} vs {new_learned})"
@@ -654,7 +1322,7 @@ class GenLearner(Process):
         if new_learned is self.learned:
             return
         if (
-            len(new_learned.command_set()) == len(self._seen)
+            len(new_learned.command_set()) == len(self.learned.command_set())
             and new_learned == self.learned
         ):
             return
@@ -662,18 +1330,33 @@ class GenLearner(Process):
             cmd for cmd in new_learned.linear_extension() if cmd not in self._seen
         )
         self.learned = new_learned
+        if not fresh:
+            return
         self._seen.update(fresh)
+        self.delivered.extend(fresh)
         for unseen in self._vote_unseen.values():
             unseen.difference_update(fresh)
         for cmd in fresh:
             self.metrics.record_learn(cmd, self.pid, self.now)
-        if self.config.send_2b_to_coordinators and fresh:
-            # Progress report for the Section 4.3 stuck-command detection.
-            self.broadcast(
-                self.config.topology.coordinators, Learned(fresh, self.pid)
-            )
+        if self.config.checkpoint is not None:
+            self._bytes_since_snap += sum(len(repr(c)) for c in fresh)
+        if (
+            self.config.send_2b_to_coordinators
+            or self.config.retransmit is not None
+        ):
+            # Progress report for the Section 4.3 stuck-command detection
+            # (and, with retransmission, the proposers' unacked retirement).
+            # The reliability layer *depends* on coordinators hearing this
+            # -- their 2a re-announce and learned re-acks key off
+            # _unserved/_learned_cmds -- so retransmission sends it to
+            # them even when the 2b echo is turned off.
+            report = Learned(fresh, self.pid)
+            self.broadcast(self.config.topology.coordinators, report)
+            if self.config.retransmit is not None:
+                self.broadcast(self.config.topology.proposers, report)
         for callback in self._callbacks:
             callback(fresh, new_learned)
+        self._maybe_snapshot()
 
     def _chosen_candidates(
         self, votes: dict[Hashable, CStruct], needed: int, growers: set[Hashable]
@@ -697,6 +1380,346 @@ class GenLearner(Process):
             )
             groups = [tuple(sorted(by_size[:needed]))]
         return [glb_set([votes[acc] for acc in group]) for group in groups]
+
+    # -- checkpointing ------------------------------------------------------
+
+    def _maybe_snapshot(self) -> None:
+        checkpoint = self.config.checkpoint
+        if checkpoint is None:
+            return
+        delta = len(self.delivered) - self.snap_frontier
+        if delta <= 0:
+            return
+        due = delta >= checkpoint.interval
+        if not due and checkpoint.interval_bytes is not None:
+            due = self._bytes_since_snap >= checkpoint.interval_bytes
+        if due:
+            self._take_snapshot()
+
+    def _take_snapshot(self) -> None:
+        """Checkpoint the learned history; advertise; maybe truncate.
+
+        One overwritten storage key -- checkpoints compact state, they
+        must not become a second growing log.  The checkpoint carries the
+        learn-order command sequence (the replica's executed order plus
+        the at-most-once dedup evidence) and the machine state, so an
+        installer needs nothing else to resume from the frontier.
+        """
+        frontier = len(self.delivered)
+        machine_state = (
+            self._replica.snapshot_state() if self._replica is not None else None
+        )
+        members = frozenset(self.delivered)
+        self.storage.write(
+            "snapshot",
+            {
+                "frontier": frontier,
+                "delivered": tuple(self.delivered),
+                "machine": machine_state,
+                "members": members,
+            },
+        )
+        self.snapshots_taken += 1
+        self.snap_frontier = frontier
+        self._snap_members = members
+        self._bytes_since_snap = 0
+        self._advertise()
+        # Our own advertisement counts toward the collective bound too.
+        base = self._stable.fold(self.pid, frontier, members)
+        if base is not None:
+            self._apply_gc(base)
+
+    def _advertise(self) -> None:
+        if self.config.checkpoint is None or self.snap_frontier <= 0:
+            return
+        msg = ICheckpoint(self.snap_frontier, members=self._snap_members)
+        self.broadcast(self.config.topology.coordinators, msg)
+        self.broadcast(self.config.topology.acceptors, msg)
+        self.broadcast(self.config.topology.proposers, msg)
+        peers = [pid for pid in self.config.topology.learners if pid != self.pid]
+        self.broadcast(peers, msg)
+
+    def on_icheckpoint(self, msg: ICheckpoint, src: Hashable) -> None:
+        if self.config.checkpoint is None:
+            return
+        previous = self._peer_frontiers.get(src)
+        if previous is None or msg.frontier > previous[0]:
+            self._peer_frontiers[src] = (msg.frontier, msg.members or frozenset())
+        base = self._stable.fold(src, msg.frontier, msg.members)
+        if base is None:
+            return
+        if base <= self._seen:
+            self._apply_gc(base)
+        else:
+            # The *collective* stable base -- what the cluster is entitled
+            # to truncate out of the vote tails -- contains commands we
+            # never learned, so ordinary replay cannot be relied on:
+            # install a checkpoint (tier two of catch-up).  A peer merely
+            # being ahead of us does not trigger this (under the min
+            # policy the bound cannot pass the slowest learner at all);
+            # routine lag heals through the cumulative vote stream.
+            self._request_install()
+
+    def _apply_gc(self, base: frozenset) -> None:
+        """Truncate the learned tail (and vote buffers) below the base."""
+        self.learned = self.learned.without(base)
+        for votes in self._latest.values():
+            for acc in list(votes):
+                votes[acc] = votes[acc].without(base)
+        # Vote-size bookkeeping refers to pre-truncation sizes; reset so
+        # the next delivery per acceptor does one full rescan.
+        self._vote_unseen = {}
+        self._vote_rnd = {}
+        self._vote_size = {}
+
+    # -- catch-up / snapshot install ----------------------------------------
+
+    def _catchup_tick(self) -> None:
+        retransmit = self.config.retransmit
+        if retransmit is None:
+            return
+        pend = self._pending_install
+        if pend is not None and pend["frontier"] <= len(self._seen):
+            pend = self._pending_install = None
+        if pend is not None:
+            received = len(pend["chunks"])
+            if received == pend.get("last_received", -1):
+                pend["stalls"] = pend.get("stalls", 0) + 1
+            else:
+                pend["stalls"] = 0
+            pend["last_received"] = received
+            if pend["stalls"] >= 4:
+                # The source stopped answering (likely crashed): abandon
+                # and re-source, preferring a different peer.
+                self._install_avoid = pend["src"]
+                pend = self._pending_install = None
+                self._request_install()
+            elif pend["total"] is None:
+                self.send(pend["src"], ISnapshotRequest(pend["frontier"]))
+            else:
+                missing = tuple(
+                    seq for seq in range(pend["total"]) if seq not in pend["chunks"]
+                )
+                if missing:
+                    self.send(
+                        pend["src"], ISnapshotRequest(pend["frontier"], missing)
+                    )
+        # Stranded below the collective base (fold reported it once, but
+        # no install source was known yet, or the transfer was lost):
+        # keep retrying until a checkpoint covers us.
+        if (
+            self._pending_install is None
+            and self._stable.enabled
+            and not (self._stable.base <= self._seen)
+        ):
+            self._request_install()
+        # Vote poll: cumulative votes re-deliver anything a lost "2b"
+        # carried, so one poll heals arbitrarily many losses.
+        self.catchup_requests += 1
+        self.broadcast(self.config.topology.acceptors, CatchUp(seen=len(self._seen)))
+
+    def on_itruncated(self, msg: ITruncated, src: Hashable) -> None:
+        """An acceptor's vote tail starts above our knowledge: install."""
+        if msg.floor <= len(self._seen):
+            return
+        self._request_install()
+
+    def _request_install(self) -> None:
+        """Ask the most advanced known peer for its checkpoint.
+
+        A peer whose transfer just stalled out (``_install_avoid``) is
+        skipped when any other candidate exists -- its advertisement may
+        be stale evidence of a crashed process.
+        """
+        best_pid, best_frontier = None, len(self._seen)
+        for pid, (frontier, _members) in self._peer_frontiers.items():
+            if frontier > best_frontier and pid != self._install_avoid:
+                best_pid, best_frontier = pid, frontier
+        if best_pid is None and self._install_avoid is not None:
+            avoided = self._peer_frontiers.get(self._install_avoid, (0, None))[0]
+            if avoided > len(self._seen):
+                best_pid, best_frontier = self._install_avoid, avoided
+        if best_pid is None:
+            return  # no advertisement seen yet; the periodic ticks will come
+        pend = self._pending_install
+        if pend is not None and pend["frontier"] >= best_frontier:
+            return  # a transfer at least as good is already in flight
+        self._pending_install = {
+            "frontier": best_frontier,
+            "src": best_pid,
+            "total": None,
+            "chunks": {},
+        }
+        self.send(best_pid, ISnapshotRequest(best_frontier))
+
+    def on_isnapshotrequest(self, msg: ISnapshotRequest, src: Hashable) -> None:
+        snapshot = self.storage.read("snapshot")
+        if snapshot is None:
+            return
+        # Answer with our *current* checkpoint even if newer than asked:
+        # the chunks carry their own frontier, and newer strictly helps.
+        checkpoint = self.config.checkpoint
+        delivered = snapshot["delivered"]
+        chunk = checkpoint.chunk_size
+        total = 1 + (len(delivered) + chunk - 1) // chunk
+        seqs = range(total) if msg.chunks is None else msg.chunks
+        for seq in seqs:
+            if not 0 <= seq < total:
+                continue
+            payload = () if seq == 0 else delivered[(seq - 1) * chunk : seq * chunk]
+            machine = snapshot["machine"] if seq == 0 else None
+            self.send(
+                src,
+                ISnapshotChunk(snapshot["frontier"], seq, total, payload, machine),
+            )
+            self.snapshot_chunks_sent += 1
+
+    def on_isnapshotchunk(self, msg: ISnapshotChunk, src: Hashable) -> None:
+        if msg.frontier <= len(self._seen):
+            return  # stale transfer: we advanced past it meanwhile
+        pend = self._pending_install
+        if pend is None or pend["frontier"] < msg.frontier:
+            pend = self._pending_install = {
+                "frontier": msg.frontier,
+                "src": src,
+                "total": msg.total,
+                "chunks": {},
+            }
+        elif pend["frontier"] > msg.frontier:
+            return  # chunks of an older transfer we already abandoned
+        elif pend["src"] != src:
+            # Same frontier, different sender: two learners can checkpoint
+            # at the same frontier with *different* delivered sequences
+            # (commuting divergence), so mixing their chunks would
+            # assemble a snapshot matching neither.  Stick to the source
+            # we are installing from; late chunks of an abandoned
+            # transfer are dropped here.
+            return
+        pend["total"] = msg.total
+        pend["chunks"][msg.seq] = msg
+        if len(pend["chunks"]) == msg.total:
+            self._install_snapshot(pend)
+
+    def _install_snapshot(self, pend: dict) -> None:
+        """Adopt a fully assembled peer checkpoint (state transfer).
+
+        The checkpoint's sequence extends everything we delivered (the
+        sender learned a superset of our stable knowledge), so adoption is
+        a fast-forward: machine state, executed order and dedup evidence
+        come from the checkpoint; commands we learned that the checkpoint
+        lacks (commuting divergence at the boundary) are re-learned on top
+        of it.  The installed checkpoint immediately becomes our own
+        journalled one -- a crash right after the install must not send us
+        below the cluster's truncation floor again.
+        """
+        chunks = [pend["chunks"][seq] for seq in range(pend["total"])]
+        frontier = pend["frontier"]
+        delivered = tuple(cmd for part in chunks for cmd in part.payload)
+        machine_state = chunks[0].machine
+        self._pending_install = None
+        self._install_avoid = None
+        if len(delivered) <= len(self._seen):
+            return
+        members = frozenset(delivered)
+        extras = tuple(
+            c for c in self.learned.linear_extension() if c not in members
+        )
+        self.snapshot_installs += 1
+        self.storage.write(
+            "snapshot",
+            {
+                "frontier": frontier,
+                "delivered": delivered,
+                "machine": machine_state,
+                "members": members,
+            },
+        )
+        self._adopt_checkpoint(frontier, delivered, machine_state, members)
+        if extras:
+            # Re-learn our divergent tail on top of the installed base:
+            # the replica was reset to the checkpoint, so these commands
+            # must execute (again) and re-enter the learn order.
+            self.learned = self.config.bottom.extend(extras)
+            self._seen.update(extras)
+            self.delivered.extend(extras)
+            for callback in self._callbacks:
+                callback(extras, self.learned)
+
+    def _adopt_checkpoint(
+        self, frontier: int, delivered: tuple, machine_state, members: frozenset
+    ) -> None:
+        """Fast-forward the learn state to a checkpoint.
+
+        Shared by snapshot install (state transfer) and crash-recovery
+        (restoring the learner's own journalled checkpoint).
+        """
+        self.delivered = list(delivered)
+        self._seen = set(delivered) | set(self.config.bottom.command_set())
+        self.learned = self.config.bottom
+        self._latest = {}
+        self._vote_unseen = {}
+        self._vote_rnd = {}
+        self._vote_size = {}
+        self._stable.base = members
+        self._stable.bound = max(self._stable.bound, frontier)
+        self._stable.union = self._stable.union | members
+        self.snap_frontier = frontier
+        self._snap_members = members
+        self._bytes_since_snap = 0
+        if self._replica is not None:
+            self._replica.install_snapshot(machine_state, delivered)
+        self._advertise()
+
+    # -- crash-recovery -----------------------------------------------------
+
+    def on_crash(self) -> None:
+        if self.config.checkpoint is None:
+            # Legacy behaviour (kept for the pre-checkpoint tests): the
+            # learner's learn state survives the crash object-wise and
+            # recovery relies on the cumulative vote stream only.
+            return
+        self.learned = self.config.bottom
+        self._latest = {}
+        self._seen = set(self.config.bottom.command_set())
+        self._vote_unseen = {}
+        self._vote_rnd = {}
+        self._vote_size = {}
+        self.delivered = []
+        self.snap_frontier = 0
+        self._snap_members = frozenset()
+        self._bytes_since_snap = 0
+        self._stable = _StableState(self.config)
+        self._peer_frontiers = {}
+        self._pending_install = None
+        self._install_avoid = None
+        if self._replica is not None:
+            self._replica.install_snapshot(None, ())
+
+    def on_recover(self) -> None:
+        # Timers died with the crash; re-arm the vote poll and the
+        # frontier re-announce.
+        if self.config.retransmit is not None:
+            self.set_periodic_timer(
+                self.config.retransmit.catchup_interval, self._catchup_tick
+            )
+        if self.config.checkpoint is None:
+            return
+        self.set_periodic_timer(
+            self.config.checkpoint.advertise_interval, self._advertise
+        )
+        # Snapshot-restore + suffix replay: our own journalled checkpoint
+        # fast-forwards the learn frontier; everything above it arrives
+        # through the vote poll (or snapshot install, if the cluster
+        # truncated past us during the outage).
+        snapshot = self.storage.read("snapshot")
+        if snapshot is None:
+            return
+        self._adopt_checkpoint(
+            snapshot["frontier"],
+            snapshot["delivered"],
+            snapshot["machine"],
+            snapshot["members"],
+        )
 
 
 @dataclass
@@ -727,12 +1750,19 @@ class GeneralizedCluster:
         for proposer in self.proposers:
             proposer.balance_load = enabled
 
+    def flush(self) -> None:
+        """Ship every proposer's partial batch and coalesced group now."""
+        for proposer in self.proposers:
+            proposer.flush()
+        for coordinator in self.coordinators:
+            coordinator._flush_forward()
+
     def learned_structs(self) -> list[CStruct]:
         return [l.learned for l in self.learners]
 
     def everyone_learned(self, cmds) -> bool:
         return all(
-            all(l.learned.contains(cmd) for cmd in cmds) for l in self.learners
+            all(l.has_learned(cmd) for cmd in cmds) for l in self.learners
         )
 
     def run_until_learned(self, cmds, timeout: float = 2_000.0) -> bool:
@@ -741,6 +1771,57 @@ class GeneralizedCluster:
 
     def total_acceptor_disk_writes(self) -> int:
         return sum(a.storage.write_count for a in self.acceptors)
+
+    def retransmission_stats(self) -> dict[str, int]:
+        """Aggregate reliability-layer counters across the cluster."""
+        return {
+            "retransmissions": sum(p.retransmissions for p in self.proposers),
+            "reannounced_2a": sum(c.reannounced_2a for c in self.coordinators),
+            "catchup_requests": sum(l.catchup_requests for l in self.learners),
+        }
+
+    def checkpoint_stats(self) -> dict[str, int]:
+        """Aggregate checkpoint/GC counters across the cluster."""
+        return {
+            "snapshots": sum(l.snapshots_taken for l in self.learners),
+            "installs": sum(l.snapshot_installs for l in self.learners),
+            "chunks_sent": sum(l.snapshot_chunks_sent for l in self.learners),
+            "min_snap_frontier": min(l.snap_frontier for l in self.learners),
+            "acceptor_floor": min(a.gc_floor for a in self.acceptors),
+            "coordinator_floor": min(c._stable.bound for c in self.coordinators),
+        }
+
+    def retained_history(self) -> dict[str, int]:
+        """Worst-case per-process retained history-lattice state, by kind.
+
+        The bounded-memory claim of the stable-prefix checkpointing layer
+        (benchmark E13) is about exactly these numbers: with a
+        ``CheckpointConfig`` they must track the checkpoint *window*, not
+        the total history.
+        """
+        return {
+            "acceptor vval": max(len(a.vval.command_set()) for a in self.acceptors),
+            "acceptor journal": max(
+                a.storage.prefix_count("gvote") for a in self.acceptors
+            ),
+            "coordinator cval": max(
+                (len(c.cval.command_set()) if c.cval is not None else 0)
+                for c in self.coordinators
+            ),
+            "learner learned": max(
+                len(l.learned.command_set()) for l in self.learners
+            ),
+            "learner votes": max(
+                (
+                    max(
+                        (len(v.command_set()) for votes in l._latest.values()
+                         for v in votes.values()),
+                        default=0,
+                    )
+                )
+                for l in self.learners
+            ),
+        }
 
 
 def build_generalized(
@@ -755,6 +1836,9 @@ def build_generalized(
     e: int | None = None,
     liveness: LivenessConfig | None = None,
     reduce_disk_writes: bool = True,
+    batching: GenBatchingConfig | None = None,
+    retransmit: RetransmitConfig | None = None,
+    checkpoint: CheckpointConfig | None = None,
 ) -> GeneralizedCluster:
     """Deploy a Multicoordinated Generalized Paxos instance on *sim*."""
     topology = Topology.build(n_proposers, n_coordinators, n_acceptors, n_learners)
@@ -768,6 +1852,9 @@ def build_generalized(
         bottom=bottom,
         liveness=liveness,
         reduce_disk_writes=reduce_disk_writes,
+        batching=batching,
+        retransmit=retransmit,
+        checkpoint=checkpoint,
     )
     return GeneralizedCluster(
         sim=sim,

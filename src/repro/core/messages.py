@@ -53,6 +53,40 @@ class Propose:
 
 
 @dataclass(frozen=True)
+class ProposeBatch:
+    """⟨propose, ⟨C1..Cm⟩⟩: a batched proposal (generalized engine).
+
+    With a :class:`repro.core.generalized.GenBatchingConfig` the proposer
+    accumulates commands and ships them as one message; coordinators append
+    the whole group to their c-struct with a single ``extend`` and forward
+    one phase "2a" per batch, and acceptors in fast rounds append the group
+    with one lattice operation.  Semantically equivalent to *m* single
+    ``Propose`` messages -- batching changes message and lattice-operation
+    counts, never outcomes (property-tested in ``tests/test_gen_parity.py``).
+    """
+
+    cmds: tuple[Hashable, ...]
+    coord_quorum: frozenset[int] | None = None
+    acceptor_quorum: frozenset[str] | None = None
+
+
+@dataclass(frozen=True)
+class CatchUp:
+    """Learner → acceptors: re-send your current vote (generalized engine).
+
+    The learners' periodic gap poll under
+    :class:`repro.core.checkpoint.RetransmitConfig`: c-structs are
+    cumulative, so an acceptor's *current* ``Phase2b`` re-delivers
+    everything a lost earlier "2b" carried.  ``seen`` is the number of
+    commands the polling learner has learned; an acceptor whose truncation
+    floor is above it answers with ``ITruncated`` too, steering the
+    laggard to snapshot install.
+    """
+
+    seen: int = 0
+
+
+@dataclass(frozen=True)
 class Phase1a:
     """⟨1a, i⟩ from a coordinator to the acceptors."""
 

@@ -28,6 +28,18 @@ Collision handling (Section 4.2):
 Liveness (Section 4.3): acceptors answer stale rounds with ``Nack``
 messages so a coordinator that believes itself leader can start a
 higher-numbered round.
+
+Scope note (engine parity): this module is the *single-value consensus*
+form of the paper's algorithm -- one decision, then done -- so the
+production layers make no sense here and live elsewhere: batching,
+retransmission and checkpointing for command *streams* are provided by
+the generalized engine (:mod:`repro.core.generalized`, one growing
+c-struct) and the multi-instance engine (:mod:`repro.smr.instances`, one
+consensus instance per command/batch), both of which reuse this module's
+round taxonomy.  A driver that needs a reliable single decision retries
+``propose``/``start_round`` on the ``Nack``/timeout signals above.  See
+the root ``README.md`` for the engine feature-parity matrix and
+``docs/messages.md`` for the full message taxonomy.
 """
 
 from __future__ import annotations

@@ -577,6 +577,73 @@ class CommandHistory(CStruct):
         """
         return tuple(cmd for cmd in self.cmds if cmd not in prefix._set)
 
+    # -- stable-prefix truncation (checkpointing support) -----------------------
+
+    def stable_split(self, members) -> tuple["CommandHistory", "CommandHistory"]:
+        """Split into ``(prefix, tail)`` at the largest prefix inside *members*.
+
+        ``prefix`` is the largest *downward-closed* sub-history whose
+        commands all belong to *members*: a command is taken iff it is a
+        member and every conflicting predecessor was taken.  That makes
+        ``prefix ⊑ self`` by construction (conditions 2-3 of the extension
+        order hold outright: kept commands keep their relative order, and a
+        dropped command conflicting with a kept one can only be a
+        *successor* -- a conflicting predecessor would have blocked the
+        keep).  ``tail`` holds the remaining commands with the digraph
+        edges into ``prefix`` dropped; those edges are implicit in the
+        split (a genuine prefix orders every cross-conflicting pair
+        prefix-first), so ``prefix • tail-order`` reconstructs ``self``
+        exactly -- the invariant the checkpointing layer relies on, proven
+        against the paper operators in ``tests/test_history_digraph.py``.
+
+        ``prefix``'s canonical sequence is the restriction of ``self``'s
+        (availability of prefix commands depends only on prefix commands,
+        so the min-key Kahn order is preserved under restriction);
+        ``tail``'s is re-derived by one Kahn pass because dropping the
+        cross edges can *relax* its canonical order.  O(n) set operations
+        plus O(|tail| log |tail|); no conflict-relation calls.
+        """
+        if not isinstance(members, (set, frozenset)):
+            members = frozenset(members)
+        if not members or not self.cmds:
+            return CommandHistory.bottom(self.conflict), self
+        taken: list[Command] = []
+        taken_set: set[Command] = set()
+        for cmd in self.cmds:
+            if cmd in members and self._preds[cmd] <= taken_set:
+                taken.append(cmd)
+                taken_set.add(cmd)
+        if not taken:
+            return CommandHistory.bottom(self.conflict), self
+        if len(taken) == len(self.cmds):
+            return self, CommandHistory.bottom(self.conflict)
+        prefix_preds = {cmd: self._preds[cmd] for cmd in taken}
+        prefix = CommandHistory._trusted(tuple(taken), self.conflict, prefix_preds)
+        tail_preds: Preds = {
+            cmd: self._preds[cmd] - taken_set
+            for cmd in self.cmds
+            if cmd not in taken_set
+        }
+        tail = CommandHistory._trusted(
+            _kahn_min_key(tail_preds), self.conflict, tail_preds
+        )
+        return prefix, tail
+
+    def without(self, members) -> "CommandHistory":
+        """``self`` with its largest *members*-prefix truncated away.
+
+        The tail of :meth:`stable_split`: exactly the commands that are
+        not part of a downward-closed *members* prefix.  Identity when no
+        member occurs at the history's frontier.  This is the per-message
+        normalization of the checkpointing layer -- receivers strip their
+        own stable base from incoming c-structs before comparing/merging.
+        """
+        if not isinstance(members, (set, frozenset)):
+            members = frozenset(members)
+        if not members or members.isdisjoint(self._set):
+            return self
+        return self.stable_split(members)[1]
+
     # -- plumbing ---------------------------------------------------------------
 
     def _require_same_relation(self, other: "CommandHistory") -> None:

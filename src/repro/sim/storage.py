@@ -109,6 +109,25 @@ class StableStorage:
         """
         self.write(self.journal_key(prefix, index), value)
 
+    def append_many(self, prefix: str, start_index: int, values) -> None:
+        """Journal *values* as consecutive entries from *start_index* on.
+
+        A single disk write for the whole group (the journal analogue of
+        :meth:`write_many` -- real implementations group-commit one
+        segment append).  The generalized engine uses it to journal a
+        batch-accept's fresh command delta without paying one synchronous
+        write per command.
+        """
+        values = list(values)
+        if not values:
+            return
+        self.write_many(
+            {
+                self.journal_key(prefix, start_index + offset): value
+                for offset, value in enumerate(values)
+            }
+        )
+
     def prefix_items(self, prefix: str) -> list[tuple[int, Any]]:
         """All ``(index, value)`` journal entries of *prefix*, index order."""
         self.read_count += 1

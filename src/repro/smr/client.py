@@ -136,11 +136,23 @@ class PipelinedClient(Client):
         self.cluster.sim.schedule(delay, self._pump)
 
     def _pump(self) -> None:
+        issued = False
         while self.backlog and len(self.in_flight) < self.window:
             cmd = self.backlog.popleft()
             self.in_flight.add(cmd)
             self.issue(cmd)
+            issued = True
         self.peak_in_flight = max(self.peak_in_flight, len(self.in_flight))
+        if issued and not self.backlog:
+            # Tail flush for batching engines: the last commands of the
+            # backlog would otherwise sit in a partial batch until the
+            # flush deadline.  The epsilon delay makes it run after the
+            # issues above have hopped through their own zero-delay
+            # schedules and landed at the proposers; no-op when nothing is
+            # buffered or the cluster has no batching layer.
+            flush = getattr(self.cluster, "flush", None)
+            if flush is not None:
+                self.cluster.sim.schedule(1e-6, flush)
 
     def _note_complete(self, cmd) -> None:
         already = cmd in self.completed

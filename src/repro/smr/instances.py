@@ -173,6 +173,16 @@ from dataclasses import dataclass, field
 from itertools import islice
 from typing import Callable, Hashable
 
+from repro.core.checkpoint import (
+    CheckpointConfig,
+    FrontierTracker,
+    ICheckpoint,
+    ISnapshotChunk,
+    ISnapshotOffer,
+    ISnapshotRequest,
+    ITruncated,
+    RetransmitConfig,
+)
 from repro.core.liveness import FailureDetector, Heartbeat, LivenessConfig
 from repro.core.quorums import QuorumSystem
 from repro.core.rounds import ZERO, RoundId, RoundSchedule
@@ -254,125 +264,6 @@ class BatchingConfig:
             raise ValueError("ewma_alpha must be in (0, 1]")
         if not 1 <= self.min_batch <= self.max_batch:
             raise ValueError("min_batch must be in [1, max_batch]")
-
-
-@dataclass
-class RetransmitConfig:
-    """Reliability-layer knobs (see the module docstring).
-
-    Attributes:
-        retry_interval: Delay before a proposer's first retransmission of
-            an unacked value.
-        backoff: Multiplier applied to the retry delay after each attempt.
-        max_interval: Cap on the (backed-off) retry delay.
-        gossip_interval: Period of the coordinators' gossip / 2a
-            re-announce tick.
-        catchup_interval: Period of the learners' gap-detection poll.
-        max_resend: Upper bound on instances/commands carried by one
-            gossip, catch-up or re-announce burst (payload bound).
-    """
-
-    retry_interval: float = 6.0
-    backoff: float = 2.0
-    max_interval: float = 48.0
-    gossip_interval: float = 8.0
-    catchup_interval: float = 6.0
-    max_resend: int = 64
-
-    def __post_init__(self) -> None:
-        if self.retry_interval <= 0:
-            raise ValueError("retry_interval must be positive")
-        if self.backoff < 1.0:
-            raise ValueError("backoff must be at least 1")
-        if self.max_interval < self.retry_interval:
-            raise ValueError("max_interval must be at least retry_interval")
-        if self.gossip_interval <= 0:
-            raise ValueError("gossip_interval must be positive")
-        if self.catchup_interval <= 0:
-            raise ValueError("catchup_interval must be positive")
-        if self.max_resend < 1:
-            raise ValueError("max_resend must be at least 1")
-
-
-@dataclass
-class CheckpointConfig:
-    """Checkpointing / log-truncation knobs (see the module docstring).
-
-    Attributes:
-        interval: Delivered instances between learner checkpoints.
-        interval_bytes: Optional alternative trigger -- checkpoint when
-            the decided payload since the last checkpoint exceeds this
-            many (approximate, ``repr``-sized) bytes, even if fewer than
-            ``interval`` instances were delivered.
-        gc_quorum: Collective-safe-frontier policy.  ``None``: truncate
-            below the *minimum* advertised frontier over all learners
-            (per-replica policy -- nothing a live learner still lacks is
-            dropped, but one dead learner halts GC).  ``k``: truncate
-            below the k-th highest frontier (quorum-of-replicas policy --
-            at least ``k`` learners hold a durable checkpoint covering
-            the dropped range, and laggards below it are recovered by
-            snapshot install).
-        chunk_size: Commands per ``ISnapshotChunk`` during state transfer.
-        advertise_interval: Period of the learners' frontier re-announce
-            tick (heals lost ``ICheckpoint`` messages; also lets a
-            restarted laggard discover how far behind it is without any
-            new client traffic).
-    """
-
-    interval: int = 32
-    interval_bytes: int | None = None
-    gc_quorum: int | None = None
-    chunk_size: int = 64
-    advertise_interval: float = 8.0
-
-    def __post_init__(self) -> None:
-        if self.interval < 1:
-            raise ValueError("interval must be at least 1")
-        if self.interval_bytes is not None and self.interval_bytes < 1:
-            raise ValueError("interval_bytes must be at least 1")
-        if self.gc_quorum is not None and self.gc_quorum < 1:
-            raise ValueError("gc_quorum must be at least 1")
-        if self.chunk_size < 1:
-            raise ValueError("chunk_size must be at least 1")
-        if self.advertise_interval <= 0:
-            raise ValueError("advertise_interval must be positive")
-
-
-class FrontierTracker:
-    """Folds advertised snapshot frontiers into the collective GC bound.
-
-    ``safe_bound()`` is the largest instance such that the checkpoint
-    policy guarantees every truncated record is covered by a durable
-    checkpoint: the minimum advertised frontier (``quorum=None``) or the
-    k-th highest (``quorum=k``).  Unheard-from learners count as frontier
-    0, so the bound can only advance on positive evidence; it is monotone
-    because advertised frontiers are.
-    """
-
-    def __init__(self, learners, quorum: int | None) -> None:
-        self._frontiers: dict[Hashable, int] = {pid: 0 for pid in learners}
-        self._quorum = quorum
-
-    @classmethod
-    def from_config(cls, config: "InstancesConfig") -> "FrontierTracker | None":
-        """The tracker a process needs under *config* (None: no checkpointing)."""
-        if config.checkpoint is None:
-            return None
-        return cls(config.topology.learners, config.checkpoint.gc_quorum)
-
-    def update(self, src: Hashable, frontier: int) -> None:
-        if src in self._frontiers and frontier > self._frontiers[src]:
-            self._frontiers[src] = frontier
-
-    def frontier_of(self, src: Hashable) -> int:
-        return self._frontiers.get(src, 0)
-
-    def safe_bound(self) -> int:
-        fronts = sorted(self._frontiers.values(), reverse=True)
-        if not fronts:
-            return 0
-        k = len(fronts) if self._quorum is None else min(self._quorum, len(fronts))
-        return fronts[k - 1]
 
 
 # -- messages -----------------------------------------------------------------
@@ -476,69 +367,6 @@ class ICatchUp:
     """Learner -> acceptors/peers: re-send evidence for *instances*."""
 
     instances: tuple[int, ...]
-
-
-@dataclass(frozen=True)
-class ICheckpoint:
-    """Learner -> everyone: I hold a durable checkpoint at *frontier*.
-
-    Every instance below *frontier* is applied in the sender's snapshot;
-    receivers fold the advertisement into their collective safe frontier
-    and garbage-collect below it (per the :class:`CheckpointConfig`
-    policy).
-    """
-
-    frontier: int
-
-
-@dataclass(frozen=True)
-class ITruncated:
-    """The sender's log was truncated below *floor*.
-
-    Answers requests (catch-up, stale 2as) for instances the sender has
-    garbage-collected.  Safe to trust like ``IDecided``: the sender's
-    floor was derived from checkpoint advertisements, i.e. every instance
-    below it is decided and covered by a durable checkpoint somewhere.
-    Learners react by requesting snapshot install; coordinators adopt the
-    floor and retire their own sub-floor state.
-    """
-
-    floor: int
-
-
-@dataclass(frozen=True)
-class ISnapshotOffer:
-    """Peer learner -> laggard: install my checkpoint at *frontier*."""
-
-    frontier: int
-
-
-@dataclass(frozen=True)
-class ISnapshotRequest:
-    """Laggard -> checkpoint owner: send snapshot chunks.
-
-    ``chunks=None`` requests the full transfer; a tuple re-requests only
-    the listed chunk sequence numbers (the resumable path after loss).
-    """
-
-    frontier: int
-    chunks: tuple[int, ...] | None = None
-
-
-@dataclass(frozen=True)
-class ISnapshotChunk:
-    """One chunk of a checkpoint transfer.
-
-    Chunk 0 carries the machine state (the header); every chunk carries a
-    slice of the checkpoint's delivered command sequence plus the total
-    chunk count, so assembly is order-independent and resumable.
-    """
-
-    frontier: int
-    seq: int
-    total: int
-    payload: tuple
-    machine: Hashable | None = None
 
 
 @dataclass

@@ -28,6 +28,14 @@ class BroadcastReplica:
     and ``results`` keeps the result of the *first* execution, so a
     resubmitted non-idempotent command cannot silently change its recorded
     outcome.
+
+    Checkpointing: when the learner supports it (``register_replica``),
+    the replica registers itself so the learner can capture
+    :meth:`snapshot_state` at its learn frontier and restore via
+    :meth:`install_snapshot` -- on crash-recovery from the learner's own
+    journalled checkpoint, and on snapshot-based state transfer from a
+    peer when this replica lags below the cluster's stable-prefix
+    truncation floor.
     """
 
     def __init__(self, learner, machine: StateMachine) -> None:
@@ -38,6 +46,9 @@ class BroadcastReplica:
         self._executed_set: set[Command] = set()
         self._observers: list[Callable[[Command, object], None]] = []
         learner.on_learn(self._on_learn)
+        register = getattr(learner, "register_replica", None)
+        if register is not None:
+            register(self)
 
     def on_execute(self, observer: Callable[[Command, object], None]) -> None:
         self._observers.append(observer)
@@ -56,6 +67,36 @@ class BroadcastReplica:
             self.results[cmd] = result
             for observer in self._observers:
                 observer(cmd, result)
+
+    # -- checkpointing ------------------------------------------------------
+
+    def snapshot_state(self):
+        """The machine state at the current execution frontier."""
+        return self.machine.snapshot()
+
+    def install_snapshot(self, machine_state, executed) -> None:
+        """Adopt a checkpoint: machine state plus its executed sequence.
+
+        Compatible learned histories order every conflicting pair
+        identically, so adopting a peer checkpoint wholesale preserves the
+        replica agreement guarantee: conflicting commands keep one order
+        everywhere, commuting commands may interleave differently and the
+        states coincide by determinism over conflicts.  With
+        ``machine_state`` None the state is rebuilt by deterministic
+        replay of *executed* from the initial state.  ``results`` of
+        fast-forwarded commands are not reconstructed -- clients that need
+        them must watch a replica that executed live.
+        """
+        executed = list(executed)
+        if machine_state is None:
+            self.machine.restore(None)
+            for cmd in executed:
+                self.machine.apply(cmd)
+        else:
+            self.machine.restore(machine_state)
+        self.executed = executed
+        self._executed_set = set(executed)
+        self.results = {}
 
 
 class OrderedReplica:

@@ -273,3 +273,70 @@ def test_partition_soundness_on_builtin_relations():
             for b in MODERATE_POOL[:12]:
                 if rel(a, b):
                     assert rel.partition(a) == rel.partition(b)
+
+
+# -- stable-prefix split (checkpointing support) -----------------------------
+
+
+@st.composite
+def history_and_members(draw):
+    """A history plus a candidate stable-member set (possibly partial)."""
+    rel, pool = draw(SCENARIOS)
+    xs = draw(st.lists(st.sampled_from(pool), max_size=48))
+    h = CommandHistory.of(rel, *xs)
+    members = frozenset(draw(st.lists(st.sampled_from(pool), max_size=48)))
+    return rel, h, members
+
+
+@settings(max_examples=120, deadline=None)
+@given(history_and_members())
+def test_stable_split_prefix_is_genuine_prefix(data):
+    """The split prefix is a downward-closed member-only prefix: ⊑ self."""
+    rel, h, members = data
+    prefix, tail = h.stable_split(members)
+    assert prefix._set <= members or not prefix.cmds
+    assert prefix.leq(h)
+    # Oracle cross-check: a genuine prefix is its own glb with the whole.
+    assert tuple(ops.prefix(prefix.cmds, h.cmds, rel)) == prefix.cmds
+    assert_trusted_invariants(prefix)
+    assert_trusted_invariants(tail)
+
+
+@settings(max_examples=120, deadline=None)
+@given(history_and_members())
+def test_stable_split_reconstructs_exactly(data):
+    """``prefix • tail-order`` rebuilds the original history."""
+    rel, h, members = data
+    prefix, tail = h.stable_split(members)
+    assert prefix._set.isdisjoint(tail._set)
+    assert prefix._set | tail._set == h._set
+    assert prefix.extend(tail.linear_extension()) == h
+
+
+@settings(max_examples=120, deadline=None)
+@given(history_and_members())
+def test_stable_split_prefix_is_maximal(data):
+    """No tail command in *members* could have joined the prefix."""
+    rel, h, members = data
+    prefix, tail = h.stable_split(members)
+    for cmd in tail.cmds:
+        if cmd in members:
+            # Blocked by a conflicting predecessor outside the prefix.
+            assert not (h._preds[cmd] <= prefix._set)
+
+
+@settings(max_examples=120, deadline=None)
+@given(history_and_members())
+def test_without_equals_split_tail(data):
+    rel, h, members = data
+    assert h.without(members) == h.stable_split(members)[1]
+    assert h.without(frozenset()) is h
+
+
+def test_stable_split_full_and_empty_members():
+    rel = KeyConflict()
+    h = CommandHistory.of(rel, *MODERATE_POOL[:12])
+    prefix, tail = h.stable_split(h._set)
+    assert prefix == h and not tail.cmds
+    prefix, tail = h.stable_split(frozenset())
+    assert not prefix.cmds and tail == h
