@@ -1,9 +1,23 @@
 """Setuptools entry point.
 
-Kept alongside pyproject.toml so that ``pip install -e .`` works in offline
+Kept as plain setup.py so that ``pip install -e .`` works in offline
 environments lacking the ``wheel`` package (legacy editable installs).
 """
 
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="repro-multicoordinated-paxos",
+    version="0.6.0",
+    description=(
+        "Reproduction of Multicoordinated Paxos (Camargos, Schmidt & "
+        "Pedone, PODC'07)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    entry_points={
+        "console_scripts": [
+            "repro-lint = repro.lint.cli:main",
+        ],
+    },
+)

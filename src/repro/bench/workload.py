@@ -45,9 +45,15 @@ class WorkloadConfig:
     burst_size: int = 2
     start: float = 10.0
     hot_key: str = "hot"
-    seed: int = 0
+    seed: int = 0  # protolint: ignore[config] -- every int is a valid seed
 
     def __post_init__(self) -> None:
+        if self.n_commands < 0:
+            raise ValueError("n_commands must be non-negative")
+        if self.period <= 0:
+            raise ValueError("period must be positive")
+        if self.start < 0:
+            raise ValueError("start must be non-negative")
         if not 0.0 <= self.conflict_rate <= 1.0:
             raise ValueError("conflict_rate must be in [0, 1]")
         if not 0.0 <= self.read_fraction <= 1.0:

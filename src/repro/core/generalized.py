@@ -173,6 +173,8 @@ class GeneralizedConfig:
     def __post_init__(self) -> None:
         if tuple(sorted(self.quorums.acceptors)) != tuple(sorted(self.topology.acceptors)):
             raise ValueError("quorum system must be defined over the topology's acceptors")
+        if self.learner_enumeration_limit < 1:
+            raise ValueError("learner_enumeration_limit must be at least 1")
         if self.checkpoint is not None:
             if self.retransmit is None:
                 # Truncation makes the engine depend on the reliability
@@ -438,6 +440,28 @@ class GenProposer(Process):
 
 class GenCoordinator(Process):
     """A coordinator of the generalized algorithm."""
+
+    # Coordinators keep no stable state (Section 4.4): a recovered
+    # coordinator simply starts a higher round, so everything it tracks --
+    # round bookkeeping, proposal caches, quorum buffers, stats -- is
+    # deliberately lost on crash.
+    VOLATILE = {
+        "_acceptor_hint",
+        "_fwd_timer",
+        "_known",
+        "_last_round_change",
+        "_learned_cmds",
+        "_p1b",
+        "_unforwarded",
+        "_unserved",
+        "crnd",
+        "cval",
+        "highest_seen",
+        "known_cmds",
+        "reannounced_2a",
+        "redriven_1a",
+        "rounds_started",
+    }
 
     def __init__(
         self, pid: str, sim: Simulation, config: GeneralizedConfig, index: int
@@ -769,6 +793,20 @@ class GenAcceptor(Process):
     rewrites the journal to the retained tail above the stable base.
     Recovery replays the journal onto the recorded base.
     """
+
+    # Lost on crash by design: the phase-2a quorum buffers and pending
+    # proposals are rebuilt by retransmission, the rest are statistics.
+    # Stable state is rnd/vrnd/vval via the delta journal.
+    VOLATILE = {
+        "_collided",
+        "_p2a",
+        "_p2a_merge",
+        "_pending_set",
+        "collisions_detected",
+        "commands_accepted",
+        "fast_accepts",
+        "pending",
+    }
 
     def __init__(self, pid: str, sim: Simulation, config: GeneralizedConfig) -> None:
         super().__init__(pid, sim)
@@ -1161,6 +1199,21 @@ class GenLearner(Process):
     (resumable under loss) and resumes ordinary vote replay above it;
     crash recovery restores the learner's own journalled checkpoint first.
     """
+
+    # Lost on crash by design: peer-frontier advertisements and the
+    # snapshot-install scratchpad are re-learned from the next gossip
+    # round; the rest are statistics.  Stable state is the learner's own
+    # checkpoint journal (restored in on_recover).
+    VOLATILE = {
+        "_install_avoid",
+        "_peer_frontiers",
+        "_pending_install",
+        "catchup_requests",
+        "lub_skips",
+        "snapshot_chunks_sent",
+        "snapshot_installs",
+        "snapshots_taken",
+    }
 
     def __init__(self, pid: str, sim: Simulation, config: GeneralizedConfig) -> None:
         super().__init__(pid, sim)

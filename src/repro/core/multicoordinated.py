@@ -229,6 +229,20 @@ class Acceptor(Process):
     MCount watermark.
     """
 
+    # The crash-recovery contract from the docstring, machine-checkable:
+    # quorum buffers and pending proposals are rebuilt by retransmission,
+    # accept_log mirrors the journal it was appended from, the rest are
+    # statistics.
+    VOLATILE = {
+        "_any_open",
+        "_collided",
+        "_p2a",
+        "_pending_set",
+        "accept_log",
+        "collisions_detected",
+        "pending",
+    }
+
     def __init__(self, pid: str, sim: Simulation, config: ConsensusConfig) -> None:
         super().__init__(pid, sim)
         self.config = config
@@ -288,6 +302,8 @@ class Acceptor(Process):
             values = {buffer[c] for c in quorum}
             if len(values) != 1:
                 continue
+            # Singleton by the guard above -- extraction order-independent.
+            # protolint: ignore[determinism]
             value = next(iter(values))
             if value is ANY:
                 self._any_open.add(rnd)

@@ -1,0 +1,5 @@
+"""``python -m repro.lint`` -- same interface as the ``repro-lint`` script."""
+
+from repro.lint.cli import main
+
+raise SystemExit(main())

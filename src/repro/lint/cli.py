@@ -1,0 +1,103 @@
+"""``repro-lint`` command line interface.
+
+Usage::
+
+    repro-lint src/repro                 # full scan, auto-found docs
+    repro-lint --rule durability src/    # one rule
+    repro-lint --docs docs/messages.md tests/lint_fixtures/violations
+    repro-lint --list-rules
+
+Exit status: 0 when no findings survive suppression, 1 otherwise (2 for
+usage errors), so the command doubles as a CI gate.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Sequence
+
+from repro.lint import RULES, run_lint
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description=(
+            "Protocol-aware static analysis: durability of handler state, "
+            "determinism of protocol paths, message-taxonomy/doc "
+            "agreement, config validation."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        type=Path,
+        help="files or directories to scan (default: src/repro if present)",
+    )
+    parser.add_argument(
+        "--rule",
+        action="append",
+        dest="rules",
+        metavar="NAME",
+        help="run only this rule (repeatable)",
+    )
+    parser.add_argument(
+        "--docs",
+        type=Path,
+        default=None,
+        help="taxonomy document (default: docs/messages.md found by "
+        "walking up from the scanned paths)",
+    )
+    parser.add_argument(
+        "--no-docs",
+        action="store_true",
+        help="skip the doc-coverage direction of the taxonomy rule",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="list rules and exit"
+    )
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        width = max(len(name) for name in RULES)
+        for name, (_, description) in sorted(RULES.items()):
+            print(f"{name:<{width}}  {description}")
+        return 0
+
+    paths = args.paths
+    if not paths:
+        default = Path("src/repro")
+        if not default.is_dir():
+            parser.error("no paths given and ./src/repro does not exist")
+        paths = [default]
+
+    if args.no_docs and args.docs is not None:
+        parser.error("--docs and --no-docs are mutually exclusive")
+
+    try:
+        findings = run_lint(
+            paths,
+            rules=args.rules,
+            docs=args.docs,
+            auto_docs=not args.no_docs,
+        )
+    except (ValueError, FileNotFoundError, SyntaxError) as exc:
+        print(f"repro-lint: {exc}", file=sys.stderr)
+        return 2
+
+    for finding in findings:
+        print(finding.render())
+    if findings:
+        count = len(findings)
+        print(
+            f"repro-lint: {count} finding{'s' if count != 1 else ''}",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

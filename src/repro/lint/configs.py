@@ -1,0 +1,107 @@
+"""Rule ``config``: numeric config knobs are validated at construction.
+
+Every tuning dataclass in this repository is named ``*Config``, and every
+numeric knob has a constraint that, violated, produces not an error but a
+*silently wrong experiment*: a zero flush interval schedules a busy loop,
+a negative drop rate never drops, a pipeline depth of 0 deadlocks the
+proposer.  The convention (established by ``BatchingConfig``,
+``NetworkConfig``, ``CheckpointConfig``, ...) is to range-check each
+numeric field in ``__post_init__`` and raise ``ValueError``.
+
+This rule enforces the convention structurally: a ``*Config`` dataclass
+with int/float fields must define ``__post_init__``, and each numeric
+field must be referenced there (the reference is the range check; the
+rule does not second-guess the bounds).  A field whose full int range is
+genuinely valid (an RNG seed, say) carries
+``# protolint: ignore[config]`` on its line.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Sequence
+
+from repro.lint.engine import (
+    Context,
+    Finding,
+    Module,
+    is_dataclass,
+    register,
+    self_attrs_in,
+)
+
+
+def _numeric_fields(cls: ast.ClassDef) -> list[tuple[str, int]]:
+    """(name, line) of int/float annotated dataclass fields."""
+    fields: list[tuple[str, int]] = []
+    for node in cls.body:
+        if not isinstance(node, ast.AnnAssign) or not isinstance(node.target, ast.Name):
+            continue
+        text = ast.unparse(node.annotation)
+        head = text.split("[", 1)[0]
+        tokens = {part.strip() for part in text.replace("|", " ").split()}
+        if "bool" in tokens or head in ("Callable", "ClassVar"):
+            continue
+        if tokens & {"int", "float"}:
+            fields.append((node.target.id, node.lineno))
+    return fields
+
+
+@register(
+    "config",
+    "*Config dataclasses range-check every numeric field in __post_init__",
+)
+def check_configs(modules: Sequence[Module], context: Context) -> list[Finding]:
+    findings: list[Finding] = []
+    for module in modules:
+        for cls in ast.walk(module.tree):
+            if not (
+                isinstance(cls, ast.ClassDef)
+                and cls.name.endswith("Config")
+                and is_dataclass(cls)
+            ):
+                continue
+            fields = _numeric_fields(cls)
+            if not fields:
+                continue
+            post_init = next(
+                (
+                    node
+                    for node in cls.body
+                    if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+                    and node.name == "__post_init__"
+                ),
+                None,
+            )
+            if post_init is None:
+                findings.append(
+                    Finding(
+                        rule="config",
+                        path=str(module.path),
+                        line=cls.lineno,
+                        message=(
+                            f"{cls.name} has numeric fields "
+                            f"({', '.join(name for name, _ in fields)}) but "
+                            f"no __post_init__ validation"
+                        ),
+                    )
+                )
+                continue
+            checked = self_attrs_in(post_init)
+            for name, line in fields:
+                if name in checked:
+                    continue
+                findings.append(
+                    Finding(
+                        rule="config",
+                        path=str(module.path),
+                        line=line,
+                        message=(
+                            f"{cls.name}.{name} is numeric but never "
+                            f"referenced in __post_init__; add a range "
+                            f"check (or ignore[config] if every value is "
+                            f"valid)"
+                        ),
+                    )
+                )
+    return findings

@@ -1,0 +1,348 @@
+"""Rule ``determinism``: no nondeterminism on protocol-visible paths.
+
+The whole test strategy of this repository -- seeded simulation, replayable
+schedules, cross-engine parity oracles -- rests on runs being functions of
+their seed.  Four hazard classes break that silently:
+
+* **unseeded randomness** -- module-level ``random.random()`` etc. draw
+  from interpreter-global state; every such call makes benchmark numbers
+  unreproducible run-to-run.  ``random.Random(seed)`` instances are the
+  sanctioned source.
+* **wall-clock reads** -- ``time.time()`` and friends leak host time into
+  virtual-time simulations.
+* **``id()``-based ordering** -- CPython addresses vary per run; using
+  them as sort keys turns iteration order into a coin flip.
+* **unordered iteration feeding ordered sinks** -- iterating a ``set``
+  (or ``dict.values()``) and appending/sending inside the loop bakes hash
+  order into message emission or an order-sensitive accumulator.  Sets
+  of strings/tuples hash differently across processes (PYTHONHASHSEED),
+  so two replicas walking "the same" set can emit in different orders.
+  Order-insensitive folds (``|=``, ``sum``, ``max``, membership tests)
+  are fine and not flagged.
+
+Scope note: ``dict`` key iteration is insertion-ordered in the language
+spec and is not flagged; ``.values()`` iteration is flagged only when the
+loop body feeds an ordered sink, because insertion order is usually
+*arrival* order -- exactly what a canonical replica state must not depend
+on.  Guarded singleton extractions (``next(iter(s))`` after a
+``len(s) == 1`` check) are legitimate: suppress them with
+``# protolint: ignore[determinism]`` and a justifying comment.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Sequence
+
+from repro.lint.engine import Context, Finding, Module, is_self_attr, register
+
+_RANDOM_MODULE_FNS = {
+    "betavariate",
+    "choice",
+    "choices",
+    "expovariate",
+    "gauss",
+    "getrandbits",
+    "lognormvariate",
+    "normalvariate",
+    "paretovariate",
+    "randbytes",
+    "randint",
+    "random",
+    "randrange",
+    "sample",
+    "shuffle",
+    "triangular",
+    "uniform",
+    "vonmisesvariate",
+    "weibullvariate",
+}
+
+_WALL_CLOCK = {
+    ("time", "time"),
+    ("time", "time_ns"),
+    ("time", "monotonic"),
+    ("time", "monotonic_ns"),
+    ("time", "perf_counter"),
+    ("time", "perf_counter_ns"),
+    ("datetime", "now"),
+    ("datetime", "utcnow"),
+    ("date", "today"),
+}
+
+#: Loop-body calls that make iteration order observable.
+_ORDER_SINKS = {"append", "appendleft", "extend", "send", "broadcast"}
+
+
+def _qualified(func: ast.expr) -> tuple[str, str] | None:
+    """``mod.attr`` call target as a pair, for simple attribute calls."""
+    if isinstance(func, ast.Attribute) and isinstance(func.value, ast.Name):
+        return (func.value.id, func.attr)
+    if (
+        isinstance(func, ast.Attribute)
+        and isinstance(func.value, ast.Attribute)
+        and isinstance(func.value.value, ast.Name)
+    ):
+        # datetime.datetime.now -> ("datetime", "now")
+        return (func.value.attr, func.attr)
+    return None
+
+
+class _SetTypes(ast.NodeVisitor):
+    """Collects names/attributes that are (syntactically) set-valued."""
+
+    def __init__(self) -> None:
+        self.names: set[str] = set()  # bare local/param names
+        self.attrs: set[str] = set()  # self.<attr> names
+
+    def _record(self, target: ast.expr) -> None:
+        if isinstance(target, ast.Name):
+            self.names.add(target.id)
+        else:
+            name = is_self_attr(target)
+            if name is not None:
+                self.attrs.add(name)
+
+    @staticmethod
+    def _is_set_expr(value: ast.expr | None) -> bool:
+        if value is None:
+            return False
+        if isinstance(value, (ast.Set, ast.SetComp)):
+            return True
+        if isinstance(value, ast.Call) and isinstance(value.func, ast.Name):
+            return value.func.id in ("set", "frozenset")
+        if isinstance(value, ast.BinOp) and isinstance(value.op, (ast.BitOr, ast.BitAnd, ast.Sub)):
+            return _SetTypes._is_set_expr(value.left) or _SetTypes._is_set_expr(value.right)
+        return False
+
+    @staticmethod
+    def _is_set_annotation(annotation: ast.expr | None) -> bool:
+        if annotation is None:
+            return False
+        text = ast.unparse(annotation)
+        head = text.split("[", 1)[0].strip().lower()
+        return head.endswith(("set", "frozenset"))
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        if self._is_set_expr(node.value):
+            for target in node.targets:
+                self._record(target)
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        if self._is_set_expr(node.value) or self._is_set_annotation(node.annotation):
+            self._record(node.target)
+        self.generic_visit(node)
+
+    def visit_arg(self, node: ast.arg) -> None:
+        if self._is_set_annotation(node.annotation):
+            self.names.add(node.arg)
+
+
+def _set_typed(expr: ast.expr, types: _SetTypes) -> bool:
+    """Whether *expr* is statically recognizable as a set."""
+    if _SetTypes._is_set_expr(expr):
+        return True
+    if isinstance(expr, ast.Name):
+        return expr.id in types.names
+    name = is_self_attr(expr)
+    if name is not None:
+        return name in types.attrs
+    return False
+
+
+def _is_values_call(expr: ast.expr) -> bool:
+    return (
+        isinstance(expr, ast.Call)
+        and isinstance(expr.func, ast.Attribute)
+        and expr.func.attr == "values"
+        and not expr.args
+        and not expr.keywords
+    )
+
+
+def _has_order_sink(body: Sequence[ast.stmt]) -> bool:
+    for stmt in body:
+        for node in ast.walk(stmt):
+            if isinstance(node, (ast.Yield, ast.YieldFrom)):
+                return True
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in _ORDER_SINKS
+            ):
+                return True
+    return False
+
+
+def _module_set_types(tree: ast.Module) -> dict[ast.AST, _SetTypes]:
+    """Per-class set-type tables (self attrs) merged with per-function locals.
+
+    Key: the FunctionDef node; value: the merged table in scope there.
+    """
+    tables: dict[ast.AST, _SetTypes] = {}
+    for cls in [n for n in ast.walk(tree) if isinstance(n, ast.ClassDef)]:
+        class_table = _SetTypes()
+        for func in cls.body:
+            if isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                class_table.visit(func)
+        for func in cls.body:
+            if isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                merged = _SetTypes()
+                merged.attrs = set(class_table.attrs)
+                merged.visit(func)
+                tables[func] = merged
+    for func in ast.walk(tree):
+        if isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef)) and func not in tables:
+            table = _SetTypes()
+            table.visit(func)
+            tables[func] = table
+    return tables
+
+
+@register(
+    "determinism",
+    "no unseeded random, wall-clock reads, id() ordering, or unordered "
+    "iteration feeding ordered sinks",
+)
+def check_determinism(modules: Sequence[Module], context: Context) -> list[Finding]:
+    findings: list[Finding] = []
+    for module in modules:
+        path = str(module.path)
+
+        def flag(line: int, message: str) -> None:
+            findings.append(
+                Finding(rule="determinism", path=path, line=line, message=message)
+            )
+
+        from_random: set[str] = set()
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ImportFrom) and node.module == "random":
+                from_random |= {
+                    alias.asname or alias.name
+                    for alias in node.names
+                    if alias.name in _RANDOM_MODULE_FNS
+                }
+
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            qual = _qualified(node.func)
+            # unseeded module-level random
+            if qual is not None and qual[0] == "random" and qual[1] in _RANDOM_MODULE_FNS:
+                flag(
+                    node.lineno,
+                    f"module-level random.{qual[1]}() draws from global, "
+                    f"unseeded state; use a seeded random.Random instance",
+                )
+            if qual == ("random", "Random") and not node.args and not node.keywords:
+                flag(
+                    node.lineno,
+                    "random.Random() without a seed is system-seeded; "
+                    "pass an explicit seed",
+                )
+            if (
+                isinstance(node.func, ast.Name)
+                and node.func.id in from_random
+            ):
+                flag(
+                    node.lineno,
+                    f"{node.func.id}() imported from random draws from "
+                    f"global, unseeded state; use a seeded random.Random",
+                )
+            # wall clock
+            if qual in _WALL_CLOCK:
+                flag(
+                    node.lineno,
+                    f"wall-clock read {qual[0]}.{qual[1]}() on a "
+                    f"virtual-time path; use the simulation clock",
+                )
+            # id() as an ordering key
+            if isinstance(node.func, ast.Name) and node.func.id in (
+                "sorted",
+                "min",
+                "max",
+            ) or (
+                isinstance(node.func, ast.Attribute) and node.func.attr == "sort"
+            ):
+                for kw in node.keywords:
+                    if kw.arg != "key":
+                        continue
+                    uses_id = (
+                        isinstance(kw.value, ast.Name) and kw.value.id == "id"
+                    ) or any(
+                        isinstance(sub, ast.Call)
+                        and isinstance(sub.func, ast.Name)
+                        and sub.func.id == "id"
+                        for sub in ast.walk(kw.value)
+                    )
+                    if uses_id:
+                        flag(
+                            node.lineno,
+                            "id()-based ordering varies across runs and "
+                            "processes; sort by a stable key",
+                        )
+
+        tables = _module_set_types(module.tree)
+        default_table = _SetTypes()
+        # map each For/call node to its enclosing function's table
+        for func, table in tables.items():
+            for node in ast.walk(func):
+                _check_iteration(node, table, flag)
+        # module-level statements outside any function
+        in_funcs = {
+            id(n) for f in tables for n in ast.walk(f)
+        }
+        for node in ast.walk(module.tree):
+            if id(node) not in in_funcs:
+                _check_iteration(node, default_table, flag)
+    return findings
+
+
+def _check_iteration(node: ast.AST, table: _SetTypes, flag) -> None:
+    if isinstance(node, ast.For):
+        iter_expr = node.iter
+        if _set_typed(iter_expr, table) and _has_order_sink(node.body):
+            flag(
+                node.lineno,
+                "iteration over a set feeds an ordered sink "
+                "(append/extend/send/broadcast); iterate a sorted() or "
+                "insertion-ordered copy instead",
+            )
+        elif _is_values_call(iter_expr) and _has_order_sink(node.body):
+            flag(
+                node.lineno,
+                "iteration over .values() feeds an ordered sink; "
+                "insertion order is arrival order -- iterate "
+                "sorted(d.items()) for a canonical order",
+            )
+    # next(iter(<set>)): hash-order choice of a representative
+    if (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id == "next"
+        and node.args
+        and isinstance(node.args[0], ast.Call)
+        and isinstance(node.args[0].func, ast.Name)
+        and node.args[0].func.id == "iter"
+        and node.args[0].args
+        and _set_typed(node.args[0].args[0], table)
+    ):
+        flag(
+            node.lineno,
+            "next(iter(<set>)) picks a hash-order representative; "
+            "guard with a singleton check and suppress, or use min()/max()",
+        )
+    # list/tuple materialization of a set bakes hash order into a sequence
+    if (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id in ("list", "tuple")
+        and len(node.args) == 1
+        and _set_typed(node.args[0], table)
+    ):
+        flag(
+            node.lineno,
+            f"{node.func.id}(<set>) materializes hash order into a "
+            f"sequence; use sorted(...) for a canonical order",
+        )

@@ -80,6 +80,14 @@ class ClassicConfig:
     quorum_size: int
     liveness: LivenessConfig | None = None
 
+    def __post_init__(self) -> None:
+        n = len(self.topology.acceptors)
+        if not 1 <= self.quorum_size <= n:
+            raise ValueError(f"quorum_size must be in [1, {n}]")
+        if 2 * self.quorum_size <= n:
+            # Two disjoint quorums could choose different values.
+            raise ValueError("quorums must intersect: need 2 * quorum_size > n")
+
 
 class ClassicProposer(Process):
     """Sends proposals to every coordinator (the leader picks them up)."""
@@ -95,6 +103,21 @@ class ClassicProposer(Process):
 
 class ClassicCoordinator(Process):
     """A coordinator; at most one believes itself leader at a time."""
+
+    # Coordinators keep no stable state: a recovered coordinator restarts
+    # its failure detector and, if it still believes itself leader, runs a
+    # fresh phase 1 under a higher round -- which rebuilds everything here.
+    VOLATILE = {
+        "_p1b",
+        "_p2b",
+        "assigned",
+        "chosen",
+        "crnd",
+        "highest_seen",
+        "next_instance",
+        "pending",
+        "phase1_done",
+    }
 
     def __init__(self, pid: str, sim: Simulation, config: ClassicConfig, index: int) -> None:
         super().__init__(pid, sim)

@@ -88,6 +88,16 @@ class FastConfig:
     uncoordinated: bool = False
     recovery: str = "coordinated"  # "coordinated" | "restart" | "none"
 
+    def __post_init__(self) -> None:
+        if self.n_acceptors < 1:
+            raise ValueError("n_acceptors must be at least 1")
+        if not 0 <= self.f < self.n_acceptors:
+            raise ValueError("f must be in [0, n_acceptors)")
+        if not 0 <= self.e < self.n_acceptors:
+            raise ValueError("e must be in [0, n_acceptors)")
+        if self.rounds_per_owner < 1:
+            raise ValueError("rounds_per_owner must be at least 1")
+
     @property
     def classic_quorum_size(self) -> int:
         return self.n_acceptors - self.f
@@ -251,6 +261,19 @@ class FastCoordinator(Process):
 
 
 class FastAcceptor(Process):
+    # Lost on crash by design: ANY windows and peer votes are re-opened /
+    # re-collected under the next round, pending proposals are resent by
+    # the proposer, accept_log mirrors the vote journal, the rest are
+    # statistics.  Stable state is rnd/vrnd/vval.
+    VOLATILE = {
+        "_any_open",
+        "_peer_votes",
+        "_recovered",
+        "accept_log",
+        "pending",
+        "wasted_disk_writes",
+    }
+
     def __init__(self, pid: str, sim: Simulation, config: FastConfig) -> None:
         super().__init__(pid, sim)
         self.config = config

@@ -431,6 +431,12 @@ class SMRProposer(Process):
     fair-lossy network.
     """
 
+    # The frontier tracker is a cache of checkpoint advertisements; it is
+    # repopulated by the next ICheckpoint gossip after a restart.  (The
+    # retransmission buffer, by contrast, *is* journalled -- see
+    # on_recover.)
+    VOLATILE = {"_tracker"}
+
     def __init__(self, pid: str, sim: Simulation, config: InstancesConfig) -> None:
         super().__init__(pid, sim)
         self.config = config
@@ -633,6 +639,38 @@ class SMRProposer(Process):
 class SMRCoordinator(Process):
     """A coordinator of the multicoordinated replication group."""
 
+    # Coordinators keep no stable state (Section 4.4): recovery starts a
+    # higher round and phase 1 rebuilds the per-instance picture from the
+    # acceptors' vote journals, so round bookkeeping, proposal lanes,
+    # quorum buffers, decision mirrors and stats are all lost on crash.
+    # (``_observed`` -- the proposal-dedup horizon -- is the one exception:
+    # forgetting it would re-serve old commands, so it is journalled.)
+    VOLATILE = {
+        "_assigned_cmds",
+        "_decided_values",
+        "_hole_seen",
+        "_last_round_change",
+        "_owners",
+        "_p1b",
+        "_p2b",
+        "_pending_cmds",
+        "_retry_inflight",
+        "_sent",
+        "_sent_values",
+        "_served",
+        "_tracker",
+        "assigned",
+        "crnd",
+        "decided",
+        "gossip_sent",
+        "highest_seen",
+        "pending",
+        "pending_retry",
+        "phase1_done",
+        "reannounced_2a",
+        "reassignments",
+    }
+
     def __init__(
         self, pid: str, sim: Simulation, config: InstancesConfig, index: int
     ) -> None:
@@ -702,7 +740,9 @@ class SMRCoordinator(Process):
         self.phase1_done = False
         # In-flight commands of the previous round are re-driven here --
         # through the retry lane: they are recovery traffic, not fresh.
-        for proposal in self.assigned.values():
+        # Sorted by instance so the retry order is canonical, not the
+        # arrival order of the superseded round.
+        for _, proposal in sorted(self.assigned.items()):
             if (
                 proposal.cmd not in self._decided_values
                 and proposal.cmd not in self._pending_cmds
@@ -764,8 +804,8 @@ class SMRCoordinator(Process):
         # that the hole-closing loop below would then double-propose.
         self._apply_gc(replier_floor, drain=False)
         votes_by_instance: dict[int, list[tuple[RoundId, Hashable]]] = {}
-        for reply in replies.values():
-            for instance, vrnd, vval in reply.votes:
+        for acceptor in sorted(replies):
+            for instance, vrnd, vval in replies[acceptor].votes:
                 votes_by_instance.setdefault(instance, []).append((vrnd, vval))
         min_inter = (
             len(replies) + self.config.quorums.classic_quorum_size
@@ -1307,6 +1347,18 @@ class SMRCoordinator(Process):
 class SMRAcceptor(Process):
     """Per-instance votes under one (global) round number."""
 
+    # Lost on crash by design: 2a quorum buffers are rebuilt by
+    # retransmission, the frontier tracker by checkpoint gossip; the rest
+    # are statistics.  Stable state is rnd plus the per-instance vote
+    # journal (restored in on_recover).
+    VOLATILE = {
+        "_collided",
+        "_p2a",
+        "_tracker",
+        "collisions_detected",
+        "commands_accepted",
+    }
+
     def __init__(self, pid: str, sim: Simulation, config: InstancesConfig) -> None:
         super().__init__(pid, sim)
         self.config = config
@@ -1377,6 +1429,8 @@ class SMRAcceptor(Process):
             quorum_values = {buffer[c] for c in quorum}
             if len(quorum_values) != 1:
                 continue
+            # Singleton by the guard above -- extraction order-independent.
+            # protolint: ignore[determinism]
             self._accept(msg.rnd, msg.instance, next(iter(quorum_values)))
             return
 
@@ -1492,6 +1546,21 @@ class SMRLearner(Process):
     recovery restores the learner's own journalled checkpoint and
     replays only the suffix above it.
     """
+
+    # Lost on crash by design: peer frontiers and the snapshot-install
+    # scratchpad are re-learned from the next gossip round; the rest are
+    # statistics.  Stable state is the decided log plus the learner's own
+    # checkpoint journal (both restored in on_recover).
+    VOLATILE = {
+        "_install_avoid",
+        "_peer_frontiers",
+        "_pending_install",
+        "acks_sent",
+        "catchup_requests",
+        "snapshot_chunks_sent",
+        "snapshot_installs",
+        "snapshots_taken",
+    }
 
     def __init__(self, pid: str, sim: Simulation, config: InstancesConfig) -> None:
         super().__init__(pid, sim)

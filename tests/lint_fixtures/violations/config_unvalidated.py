@@ -1,0 +1,20 @@
+"""Planted config-validation violations."""
+
+from dataclasses import dataclass
+
+
+@dataclass
+class TimeoutConfig:  # numeric fields, no __post_init__ at all
+    interval: float = 1.0
+    retries: int = 3
+
+
+@dataclass
+class PartialConfig:  # __post_init__ exists but misses one numeric field
+    depth: int = 4
+    rate: float = 0.5
+    label: str = "x"
+
+    def __post_init__(self):
+        if not 0.0 <= self.rate <= 1.0:
+            raise ValueError("rate must be in [0, 1]")

@@ -1,0 +1,43 @@
+"""Planted determinism violations: one of each hazard class."""
+
+import random
+import time
+
+
+def unseeded_draw():
+    return random.random()  # module-level global RNG
+
+
+def system_seeded_instance():
+    return random.Random()  # no seed
+
+
+def wall_clock():
+    return time.time()
+
+
+def id_ordering(processes):
+    return sorted(processes, key=id)
+
+
+class Broadcaster:
+    def __init__(self):
+        self.peers = set()
+        self.outbox = []
+
+    def send(self, dst, msg):
+        self.outbox.append((dst, msg))
+
+    def emit(self, msg):
+        for peer in self.peers:  # set iteration feeding an ordered sink
+            self.send(peer, msg)
+
+    def drain(self, buffer):
+        for value in buffer.values():  # .values() feeding an ordered sink
+            self.outbox.append(value)
+
+    def pick_representative(self):
+        return next(iter(self.peers))  # hash-order representative
+
+    def materialize(self):
+        return list(self.peers)  # hash order baked into a sequence

@@ -1,0 +1,52 @@
+"""Planted taxonomy drift: every direction of the rule fires here.
+
+Paired with ``docs.md`` in this directory, which documents ``Ping`` but
+omits ``Pong`` (undocumented message) and still lists a long-deleted
+``Legacy`` message (stale doc entry).
+"""
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Ping:
+    nonce: int
+
+
+@dataclass(frozen=True)
+class Pong:  # handled below but missing from docs.md
+    nonce: int
+
+
+@dataclass(frozen=True)
+class Orphan:  # sent below, but nothing defines on_orphan
+    payload: str
+
+
+@dataclass(frozen=True)
+class Ghost:  # handled below, but nothing ever constructs one
+    pass
+
+
+class Process:
+    def send(self, dst, msg):
+        pass
+
+
+class Node(Process):
+    def on_ping(self, msg, src):
+        self.send(src, Pong(msg.nonce))
+        self.send(src, Orphan("?"))
+
+    def on_pong(self, msg, src):
+        pass
+
+    def on_ghost(self, msg, src):
+        pass
+
+    def on_retired(self, msg, src):  # stale handler: no Retired class exists
+        pass
+
+
+def client(node):
+    node.send("n1", Ping(1))
