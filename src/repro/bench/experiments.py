@@ -1277,6 +1277,103 @@ def experiment_e13_memory(
     return rows
 
 
+# ---------------------------------------------------------------------------
+# E14 -- wall-clock throughput/latency over the real asyncio transport
+# ---------------------------------------------------------------------------
+
+
+def experiment_e14(
+    n_commands: int = 200,
+    window: int = 8,
+    seed: int = 23,
+) -> list[Row]:
+    """The engines on real sockets: msgs/sec and latency percentiles.
+
+    Unlike E1-E13 (deterministic simulations; latency in virtual units),
+    E14 deploys the **identical role classes** on the asyncio
+    :class:`~repro.net.transport.NetRuntime` -- one runtime per node over
+    loopback UDP/TCP, every message through the versioned codec -- and
+    measures wall-clock time.  Three conditions: clean UDP, 5%% injected
+    loss (reliability layer + liveness recovery pay real milliseconds),
+    and a tiny MTU forcing every frame onto the TCP fallback path.
+
+    The numbers are hardware-dependent; the CI-gated claims are only
+    that every condition completes with all learners in agreement.
+    """
+    import asyncio
+
+    from repro.net.transport import DEFAULT_MTU
+
+    grid = [
+        ("udp", 0.0, DEFAULT_MTU, n_commands),
+        ("udp, 5% loss", 0.05, DEFAULT_MTU, max(40, n_commands // 2)),
+        ("tcp (mtu 200)", 0.0, 200, max(40, n_commands // 2)),
+    ]
+    return [
+        asyncio.run(_e14_run(label, count, loss, mtu, window, seed))
+        for label, loss, mtu, count in grid
+    ]
+
+
+async def _e14_run(
+    label: str, n_commands: int, loss: float, mtu: int, window: int, seed: int
+) -> Row:
+    from repro.net.cluster import (
+        LoopbackDeployment,
+        wall_clock_liveness,
+        wall_clock_retransmit,
+    )
+    from repro.smr.client import PipelinedClient
+    from repro.smr.instances import make_instances_config
+
+    config = make_instances_config(
+        n_proposers=2,
+        n_coordinators=3,
+        n_acceptors=3,
+        n_learners=2,
+        retransmit=wall_clock_retransmit(),
+        liveness=wall_clock_liveness(),
+    )
+    deployment = LoopbackDeployment(config, seed=seed, loss_rate=loss, mtu=mtu)
+    await deployment.start()
+    client = PipelinedClient("e14", deployment.cluster, window=window)
+    deployment.cluster.attach_client(client)
+    cmds = [Command(f"e14-{i}", "put", f"k{i % 8}", i) for i in range(n_commands)]
+    started = deployment.driver.clock
+    client.submit(cmds)
+    completed = await deployment.driver.wait_until(
+        client.all_completed, timeout=60.0 + 3.0 * n_commands * (loss + 0.02)
+    )
+    elapsed = deployment.driver.clock - started
+    agree = len(set(deployment.delivery_orders())) == 1
+    messages = sum(
+        r.metrics.total_messages for r in deployment.runtimes.values()
+    )
+    udp = sum(r.frames_udp for r in deployment.runtimes.values())
+    tcp = sum(r.frames_tcp for r in deployment.runtimes.values())
+    latencies = sorted(
+        lat for lat in (client.latency(c) for c in cmds) if lat is not None
+    )
+    await deployment.stop()
+
+    def pct(q: float) -> float:
+        return latencies[min(len(latencies) - 1, int(q * len(latencies)))]
+
+    return {
+        "condition": label,
+        "commands": n_commands,
+        "completed": completed,
+        "orders agree": agree,
+        "wall s": round(elapsed, 2),
+        "cmds/s": round(n_commands / elapsed, 1),
+        "msgs/s": round(messages / elapsed, 1),
+        "p50 ms": round(1e3 * pct(0.50), 1),
+        "p99 ms": round(1e3 * pct(0.99), 1),
+        "udp frames": udp,
+        "tcp frames": tcp,
+    }
+
+
 ALL_EXPERIMENTS: dict[str, Callable[[], list[Row]]] = {
     "E1 latency (steps)": experiment_e1,
     "E2 quorum sizes": experiment_e2,
@@ -1293,4 +1390,5 @@ ALL_EXPERIMENTS: dict[str, Callable[[], list[Row]]] = {
     "E12 checkpointing": experiment_e12,
     "E13 generalized parity (batching)": experiment_e13,
     "E13 generalized parity (memory)": experiment_e13_memory,
+    "E14 real-transport wall clock": experiment_e14,
 }

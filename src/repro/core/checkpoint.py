@@ -31,7 +31,7 @@ position.  See ``docs/messages.md`` for the full message taxonomy.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Hashable
+from typing import Any, Callable, Hashable
 
 
 @dataclass
@@ -239,3 +239,205 @@ class ISnapshotChunk:
     total: int
     payload: tuple
     machine: Hashable | None = None
+
+
+# -- the snapshot-transfer state machines (shared by both engines) -------------
+
+
+def serve_snapshot(
+    process: Any,
+    msg: ISnapshotRequest,
+    src: Hashable,
+    snapshot: dict,
+    chunk_size: int,
+) -> int:
+    """Answer a pull request from the journalled checkpoint; chunks sent.
+
+    The answer carries the sender's *current* checkpoint even if newer
+    than asked: the chunks carry their own frontier, and newer strictly
+    helps.  Chunk 0 is the header (machine state, empty payload); chunks
+    1..n slice the delivered sequence.  ``msg.chunks`` selects a subset
+    for the resumable path; out-of-range sequence numbers (a re-request
+    against a checkpoint that has since advanced) are ignored.
+    """
+    delivered = snapshot["delivered"]
+    total = 1 + (len(delivered) + chunk_size - 1) // chunk_size
+    seqs = range(total) if msg.chunks is None else msg.chunks
+    sent = 0
+    for seq in seqs:
+        if not 0 <= seq < total:
+            continue
+        payload = () if seq == 0 else delivered[(seq - 1) * chunk_size : seq * chunk_size]
+        machine = snapshot["machine"] if seq == 0 else None
+        process.send(
+            src,
+            ISnapshotChunk(snapshot["frontier"], seq, total, payload, machine),
+        )
+        sent += 1
+    return sent
+
+
+class SnapshotInstaller:
+    """Client side of the chunked, resumable snapshot transfer.
+
+    Both engines' learners run the same install machine; only the
+    *position* metric differs (the delivery frontier in the multi-instance
+    engine, the seen-command count in the generalized engine) and whether
+    a transfer is pinned to one source.  ``sticky_source=True`` is the
+    generalized engine's rule: two learners can checkpoint at the same
+    frontier with *different* delivered sequences (commuting divergence),
+    so mixing chunks from different senders would assemble a snapshot
+    matching neither.  The multi-instance engine's agreed total order
+    makes same-frontier checkpoints identical, so it adopts the latest
+    sender instead (late chunks of an abandoned transfer still help).
+
+    All state here is deliberately volatile: a crash drops the transfer
+    and the periodic catch-up tick re-sources it from scratch.
+    """
+
+    #: ticks without a new chunk before a transfer is abandoned/re-sourced
+    STALL_LIMIT = 4
+
+    def __init__(
+        self,
+        process: Any,
+        position: Callable[[], int],
+        sticky_source: bool = False,
+    ) -> None:
+        self._process = process
+        self._position = position
+        self._sticky_source = sticky_source
+        self.pending: dict | None = None
+        self.avoid: Hashable | None = None  # last stalled-out source
+
+    def reset(self) -> None:
+        """Drop all transfer state (crash, or adoption elsewhere)."""
+        self.pending = None
+        self.avoid = None
+
+    def tick(self, request_install: Callable[[], None]) -> int | None:
+        """Drive the in-flight transfer from the periodic catch-up tick.
+
+        Re-requests the missing chunks -- or the whole transfer, if the
+        initial request (or every chunk) was lost and we never learned the
+        chunk count.  A transfer that makes no progress for several ticks
+        is abandoned so *request_install* can re-source it (its sender may
+        have crashed); one that ordinary replay already overtook is
+        dropped outright (its chunks would all be discarded on arrival
+        anyway).
+
+        Returns the frontier of the transfer still in flight after
+        servicing, or None -- crucially None right after a stall-abandon
+        even if *request_install* started a replacement, so the caller's
+        log-tier poll covers the same range the old code did.
+        """
+        pend = self.pending
+        if pend is not None and pend["frontier"] <= self._position():
+            pend = self.pending = None
+        if pend is None:
+            return None
+        received = len(pend["chunks"])
+        if received == pend.get("last_received", -1):
+            pend["stalls"] = pend.get("stalls", 0) + 1
+        else:
+            pend["stalls"] = 0
+        pend["last_received"] = received
+        if pend["stalls"] >= self.STALL_LIMIT:
+            # The source stopped answering (likely crashed): abandon and
+            # re-source, preferring a different peer.
+            self.avoid = pend["src"]
+            self.pending = None
+            request_install()
+            return None
+        if pend["total"] is None:
+            self._process.send(pend["src"], ISnapshotRequest(pend["frontier"]))
+        else:
+            missing = tuple(
+                seq for seq in range(pend["total"]) if seq not in pend["chunks"]
+            )
+            if missing:
+                self._process.send(
+                    pend["src"], ISnapshotRequest(pend["frontier"], missing)
+                )
+        return pend["frontier"]
+
+    def request_from_best(self, frontiers: dict[Hashable, int]) -> None:
+        """Ask the most advanced known peer for its checkpoint.
+
+        A peer whose transfer just stalled out (``avoid``) is skipped when
+        any other candidate exists -- its advertisement may be stale
+        evidence of a crashed process.
+        """
+        best_pid, best_frontier = None, self._position()
+        for pid, frontier in frontiers.items():
+            if frontier > best_frontier and pid != self.avoid:
+                best_pid, best_frontier = pid, frontier
+        if best_pid is None and self.avoid is not None:
+            avoided = frontiers.get(self.avoid, 0)
+            if avoided > self._position():
+                best_pid, best_frontier = self.avoid, avoided
+        if best_pid is None:
+            return  # no advertisement seen yet; the periodic ticks will come
+        self.begin(best_pid, best_frontier)
+
+    def begin(self, src: Hashable, frontier: int) -> None:
+        """Begin (or upgrade) a snapshot transfer from *src*.
+
+        A transfer in flight is replaced only by a strictly higher
+        frontier: its chunks carry their own frontier, and a sender
+        always answers with its *current* checkpoint anyway.  While the
+        current transfer has produced no chunk yet, further equal-or-
+        lower offers are debounced to the catch-up tick -- a laggard's
+        gap poll draws an ``ITruncated``/``ISnapshotOffer`` from every
+        acceptor and peer at once, and each full re-request would be
+        answered with the complete chunk set.  A dead source cannot pin
+        the install: the tick's stall counter abandons and re-sources it.
+        """
+        pend = self.pending
+        if pend is not None and pend["frontier"] >= frontier:
+            return
+        self.pending = {
+            "frontier": frontier,
+            "src": src,
+            "total": None,
+            "chunks": {},
+        }
+        self._process.send(src, ISnapshotRequest(frontier))
+
+    def fold_chunk(
+        self, msg: ISnapshotChunk, src: Hashable
+    ) -> tuple[int, tuple, Any] | None:
+        """Fold one received chunk into the transfer.
+
+        Returns the assembled ``(frontier, delivered, machine_state)``
+        when the last chunk arrives (clearing all transfer state), else
+        None.  The caller still re-checks the frontier against its own
+        position before adopting: assembly can complete after ordinary
+        replay overtook the transfer.
+        """
+        if msg.frontier <= self._position():
+            return None  # stale transfer: we advanced past it meanwhile
+        pend = self.pending
+        if pend is None or pend["frontier"] < msg.frontier:
+            pend = self.pending = {
+                "frontier": msg.frontier,
+                "src": src,
+                "total": msg.total,
+                "chunks": {},
+            }
+        elif pend["frontier"] > msg.frontier:
+            return None  # chunks of an older transfer we already abandoned
+        elif self._sticky_source and pend["src"] != src:
+            return None  # late chunks of an abandoned same-frontier transfer
+        if not self._sticky_source:
+            pend["src"] = src
+        pend["total"] = msg.total
+        pend["chunks"][msg.seq] = msg
+        if len(pend["chunks"]) != msg.total:
+            return None
+        chunks = [pend["chunks"][seq] for seq in range(pend["total"])]
+        frontier = pend["frontier"]
+        delivered = tuple(cmd for part in chunks for cmd in part.payload)
+        machine_state = chunks[0].machine
+        self.reset()
+        return frontier, delivered, machine_state

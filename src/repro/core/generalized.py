@@ -102,6 +102,8 @@ from repro.core.checkpoint import (
     ISnapshotRequest,
     ITruncated,
     RetransmitConfig,
+    SnapshotInstaller,
+    serve_snapshot,
 )
 from repro.core.liveness import FailureDetector, Heartbeat, LivenessConfig
 from repro.core.messages import (
@@ -121,8 +123,7 @@ from repro.core.rounds import ZERO, RoundId, RoundSchedule
 from repro.core.topology import Topology
 from repro.cstruct.base import CStruct, IncompatibleError, glb_set
 from repro.cstruct.commands import Command
-from repro.sim.process import Process
-from repro.sim.scheduler import Simulation
+from repro.core.runtime import Process, Runtime
 
 
 @dataclass
@@ -273,7 +274,7 @@ class GenProposer(Process):
     plus the learners' catch-up polling then spread it everywhere.
     """
 
-    def __init__(self, pid: str, sim: Simulation, config: GeneralizedConfig) -> None:
+    def __init__(self, pid: str, sim: Runtime, config: GeneralizedConfig) -> None:
         super().__init__(pid, sim)
         self.config = config
         self.balance_load = False
@@ -464,7 +465,7 @@ class GenCoordinator(Process):
     }
 
     def __init__(
-        self, pid: str, sim: Simulation, config: GeneralizedConfig, index: int
+        self, pid: str, sim: Runtime, config: GeneralizedConfig, index: int
     ) -> None:
         super().__init__(pid, sim)
         self.config = config
@@ -808,7 +809,7 @@ class GenAcceptor(Process):
         "pending",
     }
 
-    def __init__(self, pid: str, sim: Simulation, config: GeneralizedConfig) -> None:
+    def __init__(self, pid: str, sim: Runtime, config: GeneralizedConfig) -> None:
         super().__init__(pid, sim)
         self.config = config
         self.rnd: RoundId = ZERO
@@ -1205,9 +1206,8 @@ class GenLearner(Process):
     # round; the rest are statistics.  Stable state is the learner's own
     # checkpoint journal (restored in on_recover).
     VOLATILE = {
-        "_install_avoid",
+        "_installer",
         "_peer_frontiers",
-        "_pending_install",
         "catchup_requests",
         "lub_skips",
         "snapshot_chunks_sent",
@@ -1215,7 +1215,7 @@ class GenLearner(Process):
         "snapshots_taken",
     }
 
-    def __init__(self, pid: str, sim: Simulation, config: GeneralizedConfig) -> None:
+    def __init__(self, pid: str, sim: Runtime, config: GeneralizedConfig) -> None:
         super().__init__(pid, sim)
         self.config = config
         self.learned: CStruct = config.bottom
@@ -1245,8 +1245,12 @@ class GenLearner(Process):
         self._snap_members: frozenset = frozenset()
         self._bytes_since_snap = 0
         self._peer_frontiers: dict[Hashable, tuple[int, frozenset]] = {}
-        self._pending_install: dict | None = None
-        self._install_avoid: Hashable | None = None  # last stalled-out source
+        # sticky_source: same-frontier checkpoints of different learners
+        # may hold *different* delivered sequences (commuting divergence),
+        # so a transfer must never mix chunks from two senders.
+        self._installer = SnapshotInstaller(
+            self, lambda: len(self._seen), sticky_source=True
+        )
         if config.retransmit is not None:
             self.set_periodic_timer(
                 config.retransmit.catchup_interval, self._catchup_tick
@@ -1531,37 +1535,15 @@ class GenLearner(Process):
         retransmit = self.config.retransmit
         if retransmit is None:
             return
-        pend = self._pending_install
-        if pend is not None and pend["frontier"] <= len(self._seen):
-            pend = self._pending_install = None
-        if pend is not None:
-            received = len(pend["chunks"])
-            if received == pend.get("last_received", -1):
-                pend["stalls"] = pend.get("stalls", 0) + 1
-            else:
-                pend["stalls"] = 0
-            pend["last_received"] = received
-            if pend["stalls"] >= 4:
-                # The source stopped answering (likely crashed): abandon
-                # and re-source, preferring a different peer.
-                self._install_avoid = pend["src"]
-                pend = self._pending_install = None
-                self._request_install()
-            elif pend["total"] is None:
-                self.send(pend["src"], ISnapshotRequest(pend["frontier"]))
-            else:
-                missing = tuple(
-                    seq for seq in range(pend["total"]) if seq not in pend["chunks"]
-                )
-                if missing:
-                    self.send(
-                        pend["src"], ISnapshotRequest(pend["frontier"], missing)
-                    )
+        # The shared installer re-requests missing chunks, abandons
+        # stalled transfers (re-sourcing via _request_install) and drops
+        # transfers the cumulative vote stream already overtook.
+        self._installer.tick(self._request_install)
         # Stranded below the collective base (fold reported it once, but
         # no install source was known yet, or the transfer was lost):
         # keep retrying until a checkpoint covers us.
         if (
-            self._pending_install is None
+            self._installer.pending is None
             and self._stable.enabled
             and not (self._stable.base <= self._seen)
         ):
@@ -1578,82 +1560,27 @@ class GenLearner(Process):
         self._request_install()
 
     def _request_install(self) -> None:
-        """Ask the most advanced known peer for its checkpoint.
-
-        A peer whose transfer just stalled out (``_install_avoid``) is
-        skipped when any other candidate exists -- its advertisement may
-        be stale evidence of a crashed process.
-        """
-        best_pid, best_frontier = None, len(self._seen)
-        for pid, (frontier, _members) in self._peer_frontiers.items():
-            if frontier > best_frontier and pid != self._install_avoid:
-                best_pid, best_frontier = pid, frontier
-        if best_pid is None and self._install_avoid is not None:
-            avoided = self._peer_frontiers.get(self._install_avoid, (0, None))[0]
-            if avoided > len(self._seen):
-                best_pid, best_frontier = self._install_avoid, avoided
-        if best_pid is None:
-            return  # no advertisement seen yet; the periodic ticks will come
-        pend = self._pending_install
-        if pend is not None and pend["frontier"] >= best_frontier:
-            return  # a transfer at least as good is already in flight
-        self._pending_install = {
-            "frontier": best_frontier,
-            "src": best_pid,
-            "total": None,
-            "chunks": {},
-        }
-        self.send(best_pid, ISnapshotRequest(best_frontier))
+        """Ask the most advanced known peer for its checkpoint."""
+        self._installer.request_from_best(
+            {pid: frontier for pid, (frontier, _m) in self._peer_frontiers.items()}
+        )
 
     def on_isnapshotrequest(self, msg: ISnapshotRequest, src: Hashable) -> None:
         snapshot = self.storage.read("snapshot")
         if snapshot is None:
             return
-        # Answer with our *current* checkpoint even if newer than asked:
-        # the chunks carry their own frontier, and newer strictly helps.
-        checkpoint = self.config.checkpoint
-        delivered = snapshot["delivered"]
-        chunk = checkpoint.chunk_size
-        total = 1 + (len(delivered) + chunk - 1) // chunk
-        seqs = range(total) if msg.chunks is None else msg.chunks
-        for seq in seqs:
-            if not 0 <= seq < total:
-                continue
-            payload = () if seq == 0 else delivered[(seq - 1) * chunk : seq * chunk]
-            machine = snapshot["machine"] if seq == 0 else None
-            self.send(
-                src,
-                ISnapshotChunk(snapshot["frontier"], seq, total, payload, machine),
-            )
-            self.snapshot_chunks_sent += 1
+        self.snapshot_chunks_sent += serve_snapshot(
+            self, msg, src, snapshot, self.config.checkpoint.chunk_size
+        )
 
     def on_isnapshotchunk(self, msg: ISnapshotChunk, src: Hashable) -> None:
-        if msg.frontier <= len(self._seen):
-            return  # stale transfer: we advanced past it meanwhile
-        pend = self._pending_install
-        if pend is None or pend["frontier"] < msg.frontier:
-            pend = self._pending_install = {
-                "frontier": msg.frontier,
-                "src": src,
-                "total": msg.total,
-                "chunks": {},
-            }
-        elif pend["frontier"] > msg.frontier:
-            return  # chunks of an older transfer we already abandoned
-        elif pend["src"] != src:
-            # Same frontier, different sender: two learners can checkpoint
-            # at the same frontier with *different* delivered sequences
-            # (commuting divergence), so mixing their chunks would
-            # assemble a snapshot matching neither.  Stick to the source
-            # we are installing from; late chunks of an abandoned
-            # transfer are dropped here.
-            return
-        pend["total"] = msg.total
-        pend["chunks"][msg.seq] = msg
-        if len(pend["chunks"]) == msg.total:
-            self._install_snapshot(pend)
+        assembled = self._installer.fold_chunk(msg, src)
+        if assembled is not None:
+            self._install_snapshot(*assembled)
 
-    def _install_snapshot(self, pend: dict) -> None:
+    def _install_snapshot(
+        self, frontier: int, delivered: tuple, machine_state: Hashable | None
+    ) -> None:
         """Adopt a fully assembled peer checkpoint (state transfer).
 
         The checkpoint's sequence extends everything we delivered (the
@@ -1665,12 +1592,6 @@ class GenLearner(Process):
         journalled one -- a crash right after the install must not send us
         below the cluster's truncation floor again.
         """
-        chunks = [pend["chunks"][seq] for seq in range(pend["total"])]
-        frontier = pend["frontier"]
-        delivered = tuple(cmd for part in chunks for cmd in part.payload)
-        machine_state = chunks[0].machine
-        self._pending_install = None
-        self._install_avoid = None
         if len(delivered) <= len(self._seen):
             return
         members = frozenset(delivered)
@@ -1743,8 +1664,7 @@ class GenLearner(Process):
         self._bytes_since_snap = 0
         self._stable = _StableState(self.config)
         self._peer_frontiers = {}
-        self._pending_install = None
-        self._install_avoid = None
+        self._installer.reset()
         if self._replica is not None:
             self._replica.install_snapshot(None, ())
 
@@ -1779,7 +1699,7 @@ class GenLearner(Process):
 class GeneralizedCluster:
     """A deployed generalized instance plus driving helpers."""
 
-    sim: Simulation
+    sim: Runtime
     config: GeneralizedConfig
     proposers: list[GenProposer]
     coordinators: list[GenCoordinator]
@@ -1878,7 +1798,7 @@ class GeneralizedCluster:
 
 
 def build_generalized(
-    sim: Simulation,
+    sim: Runtime,
     bottom: CStruct,
     n_proposers: int = 2,
     n_coordinators: int = 3,

@@ -53,8 +53,7 @@ from repro.core.provedsafe import pick_value
 from repro.core.quorums import QuorumSystem
 from repro.core.rounds import ZERO, RoundId, RoundSchedule
 from repro.core.topology import Topology
-from repro.sim.process import Process
-from repro.sim.scheduler import Simulation
+from repro.core.runtime import Process, Runtime
 
 
 @dataclass
@@ -75,7 +74,7 @@ class ConsensusConfig:
 class Proposer(Process):
     """Sends ⟨propose, v⟩ to coordinators and acceptors (Fast Paxos rule)."""
 
-    def __init__(self, pid: str, sim: Simulation, config: ConsensusConfig) -> None:
+    def __init__(self, pid: str, sim: Runtime, config: ConsensusConfig) -> None:
         super().__init__(pid, sim)
         self.config = config
 
@@ -97,7 +96,7 @@ class _CoordPhase(enum.Enum):
 class Coordinator(Process):
     """A round coordinator (one of possibly many per round)."""
 
-    def __init__(self, pid: str, sim: Simulation, config: ConsensusConfig, index: int) -> None:
+    def __init__(self, pid: str, sim: Runtime, config: ConsensusConfig, index: int) -> None:
         super().__init__(pid, sim)
         self.config = config
         self.index = index
@@ -243,7 +242,7 @@ class Acceptor(Process):
         "pending",
     }
 
-    def __init__(self, pid: str, sim: Simulation, config: ConsensusConfig) -> None:
+    def __init__(self, pid: str, sim: Runtime, config: ConsensusConfig) -> None:
         super().__init__(pid, sim)
         self.config = config
         self.rnd: RoundId = ZERO
@@ -385,7 +384,7 @@ class Acceptor(Process):
 class Learner(Process):
     """Learns a value once an acceptor quorum accepted it in one round."""
 
-    def __init__(self, pid: str, sim: Simulation, config: ConsensusConfig) -> None:
+    def __init__(self, pid: str, sim: Runtime, config: ConsensusConfig) -> None:
         super().__init__(pid, sim)
         self.config = config
         self.learned: Hashable | None = None
@@ -423,7 +422,7 @@ class Learner(Process):
 class ConsensusCluster:
     """A deployed consensus instance: all agents plus driving helpers."""
 
-    sim: Simulation
+    sim: Runtime
     config: ConsensusConfig
     proposers: list[Proposer]
     coordinators: list[Coordinator]
@@ -459,7 +458,7 @@ class ConsensusCluster:
 
 
 def build_consensus(
-    sim: Simulation,
+    sim: Runtime,
     n_proposers: int = 1,
     n_coordinators: int = 3,
     n_acceptors: int = 3,

@@ -66,58 +66,86 @@ def _documented_names(context: Context) -> set[str] | None:
     return documented
 
 
+class MessageInventory:
+    """Everything the rule learned about the message vocabulary.
+
+    Built by :func:`collect_inventory`; also the machine-readable message
+    registry other tooling keys off (the codec round-trip test suite
+    enumerates ``messages`` so a new message class without wire support
+    fails CI).
+    """
+
+    def __init__(self, modules: Sequence[Module]) -> None:
+        self.frozen: dict[str, tuple[Module, ast.ClassDef]] = {}
+        self.handlers: dict[str, list[tuple[Module, ast.FunctionDef]]] = {}
+        self.constructed: set[str] = set()
+        self.sent_names: set[str] = set()
+
+        for module in modules:
+            for node in ast.walk(module.tree):
+                if isinstance(node, ast.ClassDef) and decorator_is_frozen_dataclass(
+                    node
+                ):
+                    self.frozen[node.name] = (module, node)
+            for cls in _process_subclasses(module.tree):
+                for func in cls.body:
+                    if (
+                        isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef))
+                        and func.name.startswith("on_")
+                        and func.name not in ("on_crash", "on_recover", "on_unhandled")
+                        and len(func.args.args) == 3
+                    ):
+                        self.handlers.setdefault(func.name[3:], []).append(
+                            (module, func)
+                        )
+
+        for module in modules:
+            for node in ast.walk(module.tree):
+                if not isinstance(node, ast.Call):
+                    continue
+                if isinstance(node.func, ast.Name) and node.func.id in self.frozen:
+                    self.constructed.add(node.func.id)
+                func = node.func
+                is_send = isinstance(func, ast.Attribute) and func.attr in (
+                    "send",
+                    "broadcast",
+                )
+                if is_send:
+                    for arg in node.args:
+                        for sub in ast.walk(arg):
+                            if (
+                                isinstance(sub, ast.Call)
+                                and isinstance(sub.func, ast.Name)
+                                and sub.func.id in self.frozen
+                            ):
+                                self.sent_names.add(sub.func.id)
+
+    @property
+    def messages(self) -> set[str]:
+        """message = frozen dataclass that is handled or directly sent."""
+        return {
+            name
+            for name in self.frozen
+            if name.lower() in self.handlers or name in self.sent_names
+        }
+
+
+def message_names(modules: Sequence[Module]) -> set[str]:
+    """The taxonomy rule's notion of the message vocabulary of *modules*."""
+    return MessageInventory(modules).messages
+
+
 @register(
     "taxonomy",
     "every message has a handler, an emission site, and a docs/messages.md "
     "row (and vice versa)",
 )
 def check_taxonomy(modules: Sequence[Module], context: Context) -> list[Finding]:
-    frozen: dict[str, tuple[Module, ast.ClassDef]] = {}
-    handlers: dict[str, list[tuple[Module, ast.FunctionDef]]] = {}
-    constructed: set[str] = set()
-    sent_names: set[str] = set()
-
-    for module in modules:
-        for node in ast.walk(module.tree):
-            if isinstance(node, ast.ClassDef) and decorator_is_frozen_dataclass(node):
-                frozen[node.name] = (module, node)
-        for cls in _process_subclasses(module.tree):
-            for func in cls.body:
-                if (
-                    isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef))
-                    and func.name.startswith("on_")
-                    and func.name not in ("on_crash", "on_recover", "on_unhandled")
-                    and len(func.args.args) == 3
-                ):
-                    handlers.setdefault(func.name[3:], []).append((module, func))
-
-    for module in modules:
-        for node in ast.walk(module.tree):
-            if not isinstance(node, ast.Call):
-                continue
-            if isinstance(node.func, ast.Name) and node.func.id in frozen:
-                constructed.add(node.func.id)
-            func = node.func
-            is_send = isinstance(func, ast.Attribute) and func.attr in (
-                "send",
-                "broadcast",
-            )
-            if is_send:
-                for arg in node.args:
-                    for sub in ast.walk(arg):
-                        if (
-                            isinstance(sub, ast.Call)
-                            and isinstance(sub.func, ast.Name)
-                            and sub.func.id in frozen
-                        ):
-                            sent_names.add(sub.func.id)
-
-    # message = frozen dataclass that is handled or directly sent
-    messages = {
-        name
-        for name in frozen
-        if name.lower() in handlers or name in sent_names
-    }
+    inventory = MessageInventory(modules)
+    frozen = inventory.frozen
+    handlers = inventory.handlers
+    constructed = inventory.constructed
+    messages = inventory.messages
 
     findings: list[Finding] = []
     for name in sorted(messages):

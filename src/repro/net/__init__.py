@@ -1,0 +1,7 @@
+"""Real-network backend: asyncio UDP/TCP transport behind the Runtime seam.
+
+``repro.net.codec`` serializes every taxonomy message; ``repro.net.transport``
+is the asyncio :class:`~repro.core.runtime.Runtime` implementation;
+``repro.net.cluster`` deploys engine roles across runtimes (in-process
+loopback or OS subprocesses via ``repro.net.node``).
+"""

@@ -1,0 +1,293 @@
+"""Deploying the engine roles across networked runtimes.
+
+The role classes (:mod:`repro.smr.instances`) are deployment-agnostic:
+they see only the Runtime surface.  This module adds the deployment
+story for the :class:`~repro.net.transport.NetRuntime` backend:
+
+* :func:`node_plan` -- the canonical placement (every coordinator,
+  acceptor and learner on its own node; all proposers on the *driver*
+  node next to the client, as a real client-facing frontend would be);
+* :func:`deploy_roles` -- instantiate on one runtime exactly the roles
+  its node hosts, from the same :class:`InstancesConfig` every other
+  node builds (nodes never exchange configuration, only messages);
+* :class:`NetCluster` -- the driver-side handle with the
+  ``propose``/``flush``/``sim`` surface :class:`repro.smr.client.Client`
+  expects, observing completions via the learners' ``IAck`` broadcasts
+  (the driver hosts the proposers, so acks arrive on its runtime);
+* :class:`LoopbackDeployment` -- the whole cluster in one OS process,
+  one runtime per node over real loopback sockets: the workhorse of the
+  transport conformance suite and the E14 wall-clock benchmark.  The
+  subprocess deployment (real OS processes) lives in
+  :mod:`repro.net.node` and ``examples/cluster_launcher.py``.
+
+Wall-clock tuning: the engines' reliability timers default to simulator
+time scales (seconds that cost nothing).  :func:`wall_clock_retransmit`
+/ :func:`wall_clock_checkpoint` provide sub-second periods so a lossy
+loopback run converges in human time.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Hashable, Iterable
+
+from repro.core.checkpoint import CheckpointConfig, RetransmitConfig
+from repro.core.liveness import LivenessConfig
+from repro.core.rounds import RoundId
+from repro.net.transport import DEFAULT_MTU, AddressBook, NetRuntime, loopback_book
+from repro.smr.instances import (
+    Batch,
+    IAck,
+    InstancesConfig,
+    SMRAcceptor,
+    SMRCoordinator,
+    SMRLearner,
+    SMRProposer,
+    make_instances_config,
+)
+
+DRIVER_NODE = "driver"
+
+
+def wall_clock_retransmit() -> RetransmitConfig:
+    """Reliability periods in real sub-second time (vs simulator units)."""
+    return RetransmitConfig(
+        retry_interval=0.3,
+        backoff=1.5,
+        max_interval=2.0,
+        gossip_interval=0.4,
+        catchup_interval=0.25,
+        max_resend=64,
+    )
+
+
+def wall_clock_liveness() -> LivenessConfig:
+    """Failure detection / stuck-round recovery at wall-clock periods.
+
+    Lossy runs need it for the same reason the simulator's lossy tests
+    enable it: a multicoordinated collision leaves an instance no round
+    can decide, and only the leader's stuck-command check (starting a
+    single-coordinated recovery round) restores progress.
+    """
+    return LivenessConfig(
+        heartbeat_period=0.3,
+        suspect_timeout=1.2,
+        check_period=0.3,
+        stuck_timeout=1.0,
+        recovery_rtype=1,
+    )
+
+
+def wall_clock_checkpoint(
+    interval: int = 16, chunk_size: int = 8, gc_quorum: int | None = None
+) -> CheckpointConfig:
+    """Checkpointing with a wall-clock advertise period (and small chunks,
+    so snapshot state transfer exercises the TCP path)."""
+    return CheckpointConfig(
+        interval=interval,
+        gc_quorum=gc_quorum,
+        chunk_size=chunk_size,
+        advertise_interval=0.5,
+    )
+
+
+def node_plan(config: InstancesConfig) -> dict[str, str]:
+    """pid -> node for the canonical deployment.
+
+    Proposers ride on the driver node (they front for the client);
+    every coordinator, acceptor and learner gets its own node named
+    after its pid, so crashing a node crashes exactly one role.
+    """
+    topology = config.topology
+    placement = {pid: DRIVER_NODE for pid in topology.proposers}
+    for pid in (*topology.coordinators, *topology.acceptors, *topology.learners):
+        placement[pid] = pid
+    return placement
+
+
+def deploy_roles(runtime: NetRuntime, config: InstancesConfig) -> dict[str, Any]:
+    """Instantiate on *runtime* exactly the roles placed on its node.
+
+    Every node calls this with the identical config; the union over all
+    nodes is the same cluster :func:`repro.smr.instances.build_smr`
+    deploys on a simulator.
+    """
+    topology = config.topology
+    local = {}
+
+    def hosted(pid: str) -> bool:
+        return runtime.book.node_of(pid) == runtime.node
+
+    for pid in topology.proposers:
+        if hosted(pid):
+            local[pid] = SMRProposer(pid, runtime, config)
+    for index, pid in enumerate(topology.coordinators):
+        if hosted(pid):
+            local[pid] = SMRCoordinator(pid, runtime, config, index)
+    for pid in topology.acceptors:
+        if hosted(pid):
+            local[pid] = SMRAcceptor(pid, runtime, config)
+    for pid in topology.learners:
+        if hosted(pid):
+            local[pid] = SMRLearner(pid, runtime, config)
+    return local
+
+
+def bootstrap_round(config: InstancesConfig) -> RoundId:
+    """The multicoordinated round a fresh cluster starts with."""
+    return config.schedule.make_round(coord=0, count=1, rtype=2)
+
+
+class NetCluster:
+    """Driver-side cluster handle over a :class:`NetRuntime`.
+
+    Exposes the subset of :class:`repro.smr.instances.SMRCluster` that
+    clients use (``sim``, ``propose``, ``flush``) plus completion
+    observation: learners broadcast ``IAck(value, instance)`` to all
+    proposers when retransmission is on, and the proposers live here --
+    a delivery tap unpacks each acked value (a ``Batch`` or a bare
+    command) and notifies attached clients.  ``acked`` counts acks per
+    command, so "every learner confirmed delivery" is observable from
+    the driver without any extra protocol.
+    """
+
+    def __init__(self, runtime: NetRuntime, config: InstancesConfig) -> None:
+        self.sim = runtime
+        self.config = config
+        self.proposers = [
+            SMRProposer(pid, runtime, config)
+            for pid in config.topology.proposers
+            if runtime.book.node_of(pid) == runtime.node
+        ]
+        if not self.proposers:
+            raise ValueError(f"no proposer placed on driver node {runtime.node!r}")
+        self._proposal_index = 0
+        self._clients: list[Any] = []
+        self.acked: dict[Hashable, set[Hashable]] = {}
+        runtime.add_delivery_tap(self._tap)
+
+    def propose(self, cmd: Hashable, delay: float = 0.0, proposer: int | None = None) -> None:
+        if proposer is None:
+            proposer = self._proposal_index % len(self.proposers)
+            self._proposal_index += 1
+        agent = self.proposers[proposer]
+        self.sim.schedule(delay, lambda: agent.propose(cmd))
+
+    def flush(self) -> None:
+        for proposer in self.proposers:
+            proposer.flush()
+
+    def attach_client(self, client: Any) -> None:
+        """Complete *client*'s commands when any learner acks them."""
+        self._clients.append(client)
+
+    def ack_count(self, cmd: Hashable) -> int:
+        """Distinct learners that confirmed delivery of *cmd*."""
+        return len(self.acked.get(cmd, ()))
+
+    def all_acked(self, cmds: Iterable[Hashable], by: int | None = None) -> bool:
+        """Every command acked by *by* learners (default: all of them)."""
+        need = len(self.config.topology.learners) if by is None else by
+        return all(self.ack_count(cmd) >= need for cmd in cmds)
+
+    def _tap(self, src: Hashable, dst: Hashable, msg: Any) -> None:
+        if not isinstance(msg, IAck):
+            return
+        cmds = tuple(msg.value) if isinstance(msg.value, Batch) else (msg.value,)
+        for cmd in cmds:
+            self.acked.setdefault(cmd, set()).add(src)
+            for client in self._clients:
+                client._note_complete(cmd)
+
+
+class LoopbackDeployment:
+    """A full cluster in one OS process: one runtime per node, real sockets.
+
+    All runtimes share one :class:`AddressBook` and one asyncio loop, so
+    ephemeral ports resolve once at :meth:`start` and every node sees
+    them -- but every inter-role message still crosses a real UDP (or
+    TCP) loopback socket through the codec.  Used by the transport
+    conformance suite and the E14 benchmark; the subprocess launcher
+    replaces this with one :class:`~repro.net.node.NodeMain` per OS
+    process.
+    """
+
+    def __init__(
+        self,
+        config: InstancesConfig | None = None,
+        seed: int = 0,
+        loss_rate: float = 0.0,
+        mtu: int = DEFAULT_MTU,
+    ) -> None:
+        if config is None:
+            config = make_instances_config(retransmit=wall_clock_retransmit())
+        self.config = config
+        placement = node_plan(config)
+        book: AddressBook = loopback_book(sorted({*placement.values(), DRIVER_NODE}))
+        book.placement.update(placement)
+        self.book = book
+        self.runtimes: dict[str, NetRuntime] = {
+            node: NetRuntime(
+                node, book, seed=seed + index, loss_rate=loss_rate, mtu=mtu
+            )
+            for index, node in enumerate(sorted(book.nodes))
+        }
+        self.roles: dict[str, Any] = {}
+        self.cluster: NetCluster | None = None
+
+    @property
+    def driver(self) -> NetRuntime:
+        return self.runtimes[DRIVER_NODE]
+
+    async def start(self, start_round: bool = True) -> "LoopbackDeployment":
+        for runtime in self.runtimes.values():
+            await runtime.start()
+        for node, runtime in self.runtimes.items():
+            if node != DRIVER_NODE:
+                self.roles.update(deploy_roles(runtime, self.config))
+        self.cluster = NetCluster(self.driver, self.config)
+        for proposer in self.cluster.proposers:
+            self.roles[proposer.pid] = proposer
+        if start_round:
+            self.start_round(bootstrap_round(self.config))
+        return self
+
+    async def stop(self) -> None:
+        for runtime in self.runtimes.values():
+            await runtime.stop()
+
+    def start_round(self, rnd: RoundId) -> None:
+        pid = self.config.topology.coordinators[rnd.coord]
+        coordinator = self.roles[pid]
+        self.runtime_of(pid).schedule(0.0, lambda: coordinator.start_round(rnd))
+
+    def runtime_of(self, pid: str) -> NetRuntime:
+        return self.runtimes[self.book.node_of(pid)]
+
+    def crash(self, pid: str) -> None:
+        self.runtime_of(pid).crash(pid)
+
+    def recover(self, pid: str) -> None:
+        self.runtime_of(pid).recover(pid)
+
+    @property
+    def learners(self) -> list[SMRLearner]:
+        return [self.roles[pid] for pid in self.config.topology.learners]
+
+    def everyone_delivered(self, cmds: Iterable[Hashable]) -> bool:
+        cmds = list(cmds)
+        return all(
+            all(learner.has_delivered(cmd) for cmd in cmds)
+            for learner in self.learners
+        )
+
+    def delivery_orders(self) -> list[tuple]:
+        return [tuple(learner.delivered) for learner in self.learners]
+
+    async def run_until_delivered(self, cmds: Iterable[Hashable], timeout: float = 30.0) -> bool:
+        cmds = list(cmds)
+        return await self.driver.wait_until(
+            lambda: self.everyone_delivered(cmds), timeout=timeout
+        )
+
+    def errors(self) -> list[BaseException]:
+        return [err for runtime in self.runtimes.values() for err in runtime.errors]

@@ -1,0 +1,224 @@
+"""Versioned wire serialization for every protocol message.
+
+The codec round-trips every frozen-dataclass message in the taxonomy
+(``docs/messages.md``) plus the value types they carry (``Command``,
+``RoundId``, ``Batch``, c-structs, tuples/sets/dicts).  The encoding is
+tagged JSON under a fixed binary header:
+
+    2 bytes magic ``RP`` | 1 byte wire version | UTF-8 JSON payload
+
+A decoder refuses a frame whose magic or version it does not understand
+(:class:`CodecError`), so incompatible deployments fail loudly instead of
+mis-parsing each other's traffic.  Framing (length prefixes, datagram
+boundaries) is the transport's job (:mod:`repro.net.transport`); the
+codec maps one message object to one payload.
+
+Registration is automatic: :func:`register_module` scans a module for
+frozen dataclasses (exactly the protolint taxonomy rule's notion of a
+message class) and registers each by class name.  All message-bearing
+modules of the repository are scanned at import time, so a *new* message
+dataclass is wire-ready the moment it exists -- and the round-trip test
+suite (auto-enumerated from the same taxonomy scan) fails if a message
+ever needs codec support the scan cannot provide.
+
+Two non-dataclass cases are handled specially:
+
+* the distinguished phase-2a sentinels ``ANY`` and ``F_ANY`` encode by
+  identity;
+* :class:`~repro.cstruct.history.CommandHistory` encodes as its linear
+  extension and is rebuilt at decode time against the *receiver's*
+  conflict relation (passed via ``context``): the relation is engine
+  configuration, identical on every node, and never shipped.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import fields, is_dataclass
+from typing import Any
+
+from repro.core import checkpoint as _checkpoint
+from repro.core import liveness as _liveness
+from repro.core import messages as _messages
+from repro.core import rounds as _rounds
+from repro.core.messages import ANY
+from repro.cstruct import commands as _commands
+from repro.cstruct import cset as _cset
+from repro.cstruct import seq as _seq
+from repro.cstruct.commands import ConflictRelation
+from repro.cstruct.history import CommandHistory
+from repro.protocols import classic as _classic
+from repro.protocols import fast as _fast
+from repro.protocols.fast import F_ANY
+from repro.smr import instances as _instances
+
+MAGIC = b"RP"
+WIRE_VERSION = 1
+HEADER_LEN = len(MAGIC) + 1
+
+
+class CodecError(ValueError):
+    """Unknown type, unknown tag, or incompatible wire header."""
+
+
+class CodecContext:
+    """Receiver-side configuration the wire cannot carry.
+
+    ``conflict`` rebuilds :class:`CommandHistory` payloads (the
+    generalized engine's c-structs are canonical orders *under a
+    relation*; every node is configured with the same relation, so only
+    the linear extension travels).
+    """
+
+    def __init__(self, conflict: ConflictRelation | None = None) -> None:
+        self.conflict = conflict
+
+
+_REGISTRY: dict[str, type] = {}
+
+
+def register_message(cls: type) -> type:
+    """Register one frozen dataclass for wire transport (by class name)."""
+    name = cls.__name__
+    existing = _REGISTRY.get(name)
+    if existing is not None and existing is not cls:
+        raise CodecError(f"codec name collision: {name} ({existing} vs {cls})")
+    _REGISTRY[name] = cls
+    return cls
+
+
+def register_module(module: Any) -> list[str]:
+    """Register every frozen dataclass *defined* in *module*."""
+    registered = []
+    for _name, obj in sorted(vars(module).items()):
+        if (
+            isinstance(obj, type)
+            and obj.__module__ == module.__name__
+            and is_dataclass(obj)
+            and obj.__dataclass_params__.frozen
+        ):
+            register_message(obj)
+            registered.append(obj.__name__)
+    return registered
+
+
+def registered_names() -> frozenset[str]:
+    """Every type name the codec can put on the wire."""
+    return frozenset(_REGISTRY)
+
+
+for _module in (
+    _messages,
+    _liveness,
+    _checkpoint,
+    _rounds,
+    _instances,
+    _classic,
+    _fast,
+    _commands,
+    _seq,
+    _cset,
+):
+    register_module(_module)
+
+
+# -- value packing -------------------------------------------------------------
+
+
+def _pack(obj: Any) -> Any:
+    if obj is None or isinstance(obj, (bool, int, float, str)):
+        return obj
+    if obj is ANY:
+        return {"t": "@", "v": "ANY"}
+    if obj is F_ANY:
+        return {"t": "@", "v": "F_ANY"}
+    if isinstance(obj, tuple):
+        return {"t": "tuple", "v": [_pack(item) for item in obj]}
+    if isinstance(obj, list):
+        return {"t": "list", "v": [_pack(item) for item in obj]}
+    if isinstance(obj, (frozenset, set)):
+        # Canonical order on the wire: the codec must not leak set
+        # iteration order into bytes (two encodings of equal sets are
+        # byte-identical).
+        tag = "frozenset" if isinstance(obj, frozenset) else "set"
+        items = sorted(obj, key=repr)  # protolint: ignore[determinism]
+        return {"t": tag, "v": [_pack(item) for item in items]}
+    if isinstance(obj, dict):
+        pairs = sorted(obj.items(), key=lambda kv: repr(kv[0]))
+        return {"t": "dict", "v": [[_pack(k), _pack(v)] for k, v in pairs]}
+    if isinstance(obj, CommandHistory):
+        return {"t": "hist", "v": [_pack(cmd) for cmd in obj.linear_extension()]}
+    cls = type(obj)
+    registered = _REGISTRY.get(cls.__name__)
+    if registered is cls:
+        return {
+            "t": cls.__name__,
+            "v": {f.name: _pack(getattr(obj, f.name)) for f in fields(cls)},
+        }
+    raise CodecError(f"no codec for {cls.__module__}.{cls.__name__}: {obj!r}")
+
+
+def _unpack(data: Any, context: CodecContext) -> Any:
+    if data is None or isinstance(data, (bool, int, float, str)):
+        return data
+    if not isinstance(data, dict) or "t" not in data:
+        raise CodecError(f"malformed wire value: {data!r}")
+    tag, value = data["t"], data.get("v")
+    if tag == "@":
+        if value == "ANY":
+            return ANY
+        if value == "F_ANY":
+            return F_ANY
+        raise CodecError(f"unknown sentinel {value!r}")
+    if tag == "tuple":
+        return tuple(_unpack(item, context) for item in value)
+    if tag == "list":
+        return [_unpack(item, context) for item in value]
+    if tag == "frozenset":
+        return frozenset(_unpack(item, context) for item in value)
+    if tag == "set":
+        return {_unpack(item, context) for item in value}
+    if tag == "dict":
+        return {_unpack(k, context): _unpack(v, context) for k, v in value}
+    if tag == "hist":
+        if context.conflict is None:
+            raise CodecError(
+                "CommandHistory on the wire needs a CodecContext with the "
+                "receiver's conflict relation"
+            )
+        return CommandHistory.of(
+            context.conflict, *(_unpack(item, context) for item in value)
+        )
+    cls = _REGISTRY.get(tag)
+    if cls is None:
+        raise CodecError(f"unknown wire tag {tag!r}")
+    kwargs = {name: _unpack(item, context) for name, item in value.items()}
+    return cls(**kwargs)
+
+
+# -- framing-free encode/decode ------------------------------------------------
+
+
+def encode(obj: Any) -> bytes:
+    """One message object -> one versioned wire payload."""
+    payload = json.dumps(_pack(obj), separators=(",", ":")).encode("utf-8")
+    return MAGIC + bytes([WIRE_VERSION]) + payload
+
+
+def decode(data: bytes, context: CodecContext | None = None) -> Any:
+    """One wire payload -> the message object (checks magic + version)."""
+    if len(data) < HEADER_LEN or data[: len(MAGIC)] != MAGIC:
+        raise CodecError("bad magic: not a repro wire frame")
+    version = data[len(MAGIC)]
+    if version != WIRE_VERSION:
+        raise CodecError(f"wire version {version} != supported {WIRE_VERSION}")
+    try:
+        parsed = json.loads(data[HEADER_LEN:].decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise CodecError(f"undecodable payload: {exc}") from exc
+    return _unpack(parsed, context or CodecContext())
+
+
+def roundtrips(obj: Any, context: CodecContext | None = None) -> bool:
+    """Whether *obj* survives encode -> decode unchanged (test helper)."""
+    return decode(encode(obj), context) == obj

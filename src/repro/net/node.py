@@ -1,0 +1,260 @@
+"""One cluster node as an OS process: ``python -m repro.net.node '<spec>'``.
+
+A *node spec* is a JSON object (one argv element, or on stdin when the
+argument is ``-``) that tells the process who it is and who everyone
+else is::
+
+    {
+      "node": "acc0",                    # this node's name
+      "seed": 3,                         # runtime RNG seed
+      "nodes": {"acc0": ["127.0.0.1", 40001], ...},
+      "placement": {"acc0": "acc0", "prop0": "driver", ...},
+      "shape": {"n_proposers": 2, "n_coordinators": 2,
+                "n_acceptors": 3, "n_learners": 2, "f": 1},
+      "retransmit": {...} | null,        # dataclass field dicts
+      "checkpoint": {...} | null,
+      "liveness": {...} | null,
+      "mtu": 1400, "loss_rate": 0.0,
+      "lifetime": 120.0                  # hard exit deadline (orphan cap)
+    }
+
+Every node builds the **identical** :class:`InstancesConfig` from
+``shape`` (nodes never exchange configuration -- only wire messages) and
+instantiates exactly the roles its placement hosts, via
+:func:`repro.net.cluster.deploy_roles`.  The role classes are byte-for-
+byte the ones the simulator runs.
+
+Control plane
+-------------
+
+Each node also hosts a :class:`ControlAgent` (pid ``ctl@<node>``), and
+the driver hosts a :class:`ControlClient` (pid ``ctl@driver``).  The
+``Ctl*`` messages ride the same runtime, codec and wire as the protocol
+itself -- readiness, round bootstrap, order audits and shutdown are just
+more messages (see ``docs/messages.md`` / ``docs/transport.md``):
+
+* ``CtlHello`` -- node -> driver, re-sent periodically until the driver's
+  ``CtlWelcome`` confirms the handshake (boot-order independence);
+* ``CtlStart`` -- driver -> the round-zero coordinator's node, once every
+  node said hello: start the bootstrap round.  Gating the round on the
+  handshake means phase 1 is never shouted at unbound ports;
+* ``CtlOrders`` / ``CtlOrdersReply`` -- order audit: a learner node
+  replies with each local learner's delivered sequence, so the driver
+  can assert all learners delivered the identical order;
+* ``CtlShutdown`` -- node exits cleanly (the ``lifetime`` deadline is the
+  backstop for orphaned nodes when a driver dies).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import sys
+from dataclasses import dataclass
+from typing import Any, Hashable
+
+from repro.core.checkpoint import CheckpointConfig, RetransmitConfig
+from repro.core.liveness import LivenessConfig
+from repro.core.rounds import ZERO
+from repro.core.runtime import Process
+from repro.net import codec
+from repro.net.cluster import bootstrap_round, deploy_roles
+from repro.net.transport import DEFAULT_MTU, AddressBook, NetRuntime
+from repro.smr.instances import InstancesConfig, make_instances_config
+
+HELLO_INTERVAL = 0.25
+
+
+def control_pid(node: str) -> str:
+    """The pid of *node*'s control agent (``ctl@<node>``)."""
+    return f"ctl@{node}"
+
+
+# -- control messages ----------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CtlHello:
+    """Node -> driver: my runtime is bound and my roles are deployed."""
+
+    node: str
+
+
+@dataclass(frozen=True)
+class CtlWelcome:
+    """Driver -> node: hello received, stop re-sending it."""
+
+
+@dataclass(frozen=True)
+class CtlStart:
+    """Driver -> one coordinator's node: start the bootstrap round."""
+
+    coord: int
+
+
+@dataclass(frozen=True)
+class CtlOrders:
+    """Driver -> node: report every local learner's delivered order."""
+
+
+@dataclass(frozen=True)
+class CtlOrdersReply:
+    """Node -> driver: ``orders`` is a tuple of (learner pid, delivered)."""
+
+    node: str
+    orders: tuple
+
+
+@dataclass(frozen=True)
+class CtlShutdown:
+    """Driver -> node: exit cleanly."""
+
+
+class ControlAgent(Process):
+    """The node-side management endpoint (one per OS process)."""
+
+    def __init__(
+        self,
+        pid: str,
+        sim: NetRuntime,
+        roles: dict[str, Any],
+        config: InstancesConfig,
+        driver: str,
+    ) -> None:
+        super().__init__(pid, sim)
+        self.roles = roles
+        self.config = config
+        self.driver = driver
+        self.shutdown_requested = False
+        self._hello_timer = self.set_periodic_timer(HELLO_INTERVAL, self._hello)
+        self._hello()
+
+    def _hello(self) -> None:
+        self.send(self.driver, CtlHello(node=self.sim.node))
+
+    def on_ctlwelcome(self, msg: CtlWelcome, src: Hashable) -> None:
+        if self._hello_timer is not None:
+            self.drop_timer(self._hello_timer)
+            self._hello_timer = None
+
+    def on_ctlstart(self, msg: CtlStart, src: Hashable) -> None:
+        pid = self.config.topology.coordinators[msg.coord]
+        coordinator = self.roles.get(pid)
+        if coordinator is not None and coordinator.crnd == ZERO:
+            coordinator.start_round(bootstrap_round(self.config))
+
+    def on_ctlorders(self, msg: CtlOrders, src: Hashable) -> None:
+        orders = tuple(
+            (pid, tuple(self.roles[pid].delivered))
+            for pid in self.config.topology.learners
+            if pid in self.roles
+        )
+        self.send(src, CtlOrdersReply(node=self.sim.node, orders=orders))
+
+    def on_ctlshutdown(self, msg: CtlShutdown, src: Hashable) -> None:
+        self.shutdown_requested = True
+
+
+class ControlClient(Process):
+    """The driver-side management endpoint."""
+
+    def __init__(self, pid: str, sim: NetRuntime, expected: set[str]) -> None:
+        super().__init__(pid, sim)
+        self.expected = set(expected)
+        self.hellos: set[str] = set()
+        self.orders: dict[str, tuple] = {}
+
+    def on_ctlhello(self, msg: CtlHello, src: Hashable) -> None:
+        self.hellos.add(msg.node)
+        self.send(src, CtlWelcome())
+
+    def on_ctlordersreply(self, msg: CtlOrdersReply, src: Hashable) -> None:
+        self.orders[msg.node] = msg.orders
+
+    def all_ready(self) -> bool:
+        return self.expected <= self.hellos
+
+    def start_cluster(self, coord: int = 0) -> None:
+        node = self.sim.book.node_of(self.config_coordinator_pid(coord))
+        self.send(control_pid(node), CtlStart(coord=coord))
+
+    def config_coordinator_pid(self, coord: int) -> str:
+        # The driver knows the topology only through the address book:
+        # coordinator pids are the placement keys named by Topology.build.
+        return f"coord{coord}"
+
+    def audit_orders(self, nodes: list[str]) -> None:
+        self.orders = {}
+        for node in nodes:
+            self.send(control_pid(node), CtlOrders())
+
+    def learner_orders(self) -> dict[str, tuple]:
+        """Learner pid -> delivered order, over all audited nodes."""
+        return {
+            pid: order
+            for reply in self.orders.values()
+            for pid, order in reply
+        }
+
+    def shutdown_cluster(self, nodes: list[str]) -> None:
+        for node in nodes:
+            self.send(control_pid(node), CtlShutdown())
+
+
+codec.register_module(sys.modules[__name__])
+
+
+# -- spec handling -------------------------------------------------------------
+
+
+def _cfg(cls: type, data: dict | None) -> Any:
+    return None if data is None else cls(**data)
+
+
+def config_from_spec(spec: dict) -> InstancesConfig:
+    """The engine config every node derives from the shared ``shape``."""
+    return make_instances_config(
+        **spec["shape"],
+        retransmit=_cfg(RetransmitConfig, spec.get("retransmit")),
+        checkpoint=_cfg(CheckpointConfig, spec.get("checkpoint")),
+        liveness=_cfg(LivenessConfig, spec.get("liveness")),
+    )
+
+
+async def run_node(spec: dict) -> None:
+    """Serve one node until shutdown (or the ``lifetime`` deadline)."""
+    book = AddressBook.from_json(spec)
+    runtime = NetRuntime(
+        spec["node"],
+        book,
+        seed=spec.get("seed", 0),
+        mtu=spec.get("mtu", DEFAULT_MTU),
+        loss_rate=spec.get("loss_rate", 0.0),
+    )
+    await runtime.start()
+    config = config_from_spec(spec)
+    roles = deploy_roles(runtime, config)
+    agent = ControlAgent(
+        control_pid(runtime.node),
+        runtime,
+        roles,
+        config,
+        driver=control_pid(spec.get("driver", "driver")),
+    )
+    try:
+        await runtime.wait_until(
+            lambda: agent.shutdown_requested, timeout=spec.get("lifetime", 120.0)
+        )
+    finally:
+        await runtime.stop()
+
+
+def main(argv: list[str]) -> int:
+    raw = argv[1] if len(argv) > 1 else "-"
+    spec = json.loads(sys.stdin.read() if raw == "-" else raw)
+    asyncio.run(run_node(spec))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

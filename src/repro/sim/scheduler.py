@@ -15,6 +15,7 @@ from typing import Any, Callable, Hashable
 from repro.sim.events import Event, EventQueue
 from repro.sim.metrics import Metrics
 from repro.sim.network import Network, NetworkConfig
+from repro.sim.storage import StableStorage
 
 
 class SimulationError(RuntimeError):
@@ -50,6 +51,16 @@ class Simulation:
     def add_invariant_check(self, check: Callable[["Simulation"], None]) -> None:
         """Run *check(sim)* after every processed event (safety oracle)."""
         self._invariant_checks.append(check)
+
+    # -- Runtime protocol (see repro.core.runtime) -------------------------
+
+    def send(self, src: Hashable, dst: Hashable, msg: Any) -> None:
+        """Transport entry point: delegate to the simulated network."""
+        self.network.send(src, dst, msg)
+
+    def make_storage(self, owner: str) -> StableStorage:
+        """Fresh stable storage for one process (in-memory, crash-proof)."""
+        return StableStorage(owner=owner)
 
     # -- scheduling -------------------------------------------------------
 

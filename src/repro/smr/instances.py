@@ -182,13 +182,14 @@ from repro.core.checkpoint import (
     ISnapshotRequest,
     ITruncated,
     RetransmitConfig,
+    SnapshotInstaller,
+    serve_snapshot,
 )
 from repro.core.liveness import FailureDetector, Heartbeat, LivenessConfig
 from repro.core.quorums import QuorumSystem
 from repro.core.rounds import ZERO, RoundId, RoundSchedule
+from repro.core.runtime import Process, Runtime
 from repro.core.topology import Topology
-from repro.sim.process import Process
-from repro.sim.scheduler import Simulation
 
 NOOP = "__noop__"
 
@@ -437,7 +438,7 @@ class SMRProposer(Process):
     # on_recover.)
     VOLATILE = {"_tracker"}
 
-    def __init__(self, pid: str, sim: Simulation, config: InstancesConfig) -> None:
+    def __init__(self, pid: str, sim: Runtime, config: InstancesConfig) -> None:
         super().__init__(pid, sim)
         self.config = config
         self.balance_load = False
@@ -672,7 +673,7 @@ class SMRCoordinator(Process):
     }
 
     def __init__(
-        self, pid: str, sim: Simulation, config: InstancesConfig, index: int
+        self, pid: str, sim: Runtime, config: InstancesConfig, index: int
     ) -> None:
         super().__init__(pid, sim)
         self.config = config
@@ -1359,7 +1360,7 @@ class SMRAcceptor(Process):
         "commands_accepted",
     }
 
-    def __init__(self, pid: str, sim: Simulation, config: InstancesConfig) -> None:
+    def __init__(self, pid: str, sim: Runtime, config: InstancesConfig) -> None:
         super().__init__(pid, sim)
         self.config = config
         self.rnd: RoundId = ZERO
@@ -1552,9 +1553,8 @@ class SMRLearner(Process):
     # statistics.  Stable state is the decided log plus the learner's own
     # checkpoint journal (both restored in on_recover).
     VOLATILE = {
-        "_install_avoid",
+        "_installer",
         "_peer_frontiers",
-        "_pending_install",
         "acks_sent",
         "catchup_requests",
         "snapshot_chunks_sent",
@@ -1562,7 +1562,7 @@ class SMRLearner(Process):
         "snapshots_taken",
     }
 
-    def __init__(self, pid: str, sim: Simulation, config: InstancesConfig) -> None:
+    def __init__(self, pid: str, sim: Runtime, config: InstancesConfig) -> None:
         super().__init__(pid, sim)
         self.config = config
         self.decided: dict[int, Hashable] = {}
@@ -1582,8 +1582,7 @@ class SMRLearner(Process):
         self._callbacks: list[Callable[[int, Hashable], None]] = []
         self._replica = None  # set via register_replica (OrderedReplica)
         self._peer_frontiers: dict[Hashable, int] = {}
-        self._pending_install: dict | None = None
-        self._install_avoid: Hashable | None = None  # last stalled-out source
+        self._installer = SnapshotInstaller(self, lambda: self._next_delivery)
         if config.retransmit is not None:
             self.set_periodic_timer(
                 config.retransmit.catchup_interval, self._catchup_tick
@@ -1693,44 +1692,15 @@ class SMRLearner(Process):
         retransmit = self.config.retransmit
         if retransmit is None:
             return
-        # Resumable snapshot install: re-request the missing chunks -- or
-        # the whole transfer, if the initial request (or every chunk) was
-        # lost and we never learned the chunk count.  A transfer that makes
-        # no progress for several ticks is abandoned so the next offer or
-        # ITruncated can re-source it (its sender may have crashed); one
-        # that ordinary log replay already overtook is dropped outright
-        # (its chunks would all be discarded on arrival anyway).
-        pend = self._pending_install
-        if pend is not None and pend["frontier"] <= self._next_delivery:
-            pend = self._pending_install = None
-        if pend is not None:
-            received = len(pend["chunks"])
-            if received == pend.get("last_received", -1):
-                pend["stalls"] = pend.get("stalls", 0) + 1
-            else:
-                pend["stalls"] = 0
-            pend["last_received"] = received
-            if pend["stalls"] >= 4:
-                # The source stopped answering (likely crashed): abandon
-                # and re-source, preferring a different peer.
-                self._install_avoid = pend["src"]
-                pend = self._pending_install = None
-                self._request_snapshot()
-            elif pend["total"] is None:
-                self.send(pend["src"], ISnapshotRequest(pend["frontier"]))
-            else:
-                missing = tuple(
-                    seq for seq in range(pend["total"]) if seq not in pend["chunks"]
-                )
-                if missing:
-                    self.send(
-                        pend["src"], ISnapshotRequest(pend["frontier"], missing)
-                    )
+        # Resumable snapshot install: the shared installer re-requests
+        # missing chunks, abandons stalled transfers (re-sourcing via
+        # _request_snapshot) and drops transfers that ordinary log replay
+        # already overtook.
+        start = self._installer.tick(self._request_snapshot)
         # Log-tier gap poll.  While a snapshot install is in flight, only
         # gaps at or above its frontier are worth requesting from the log
         # -- everything below arrives with the chunks, and acceptors could
         # only answer ITruncated churn anyway.
-        start = pend["frontier"] if pend is not None else None
         missing_instances = self.gaps(limit=retransmit.max_resend, start=start)
         if not missing_instances:
             return
@@ -1843,95 +1813,30 @@ class SMRLearner(Process):
         self._request_snapshot()
 
     def _request_snapshot(self) -> None:
-        """Ask the most advanced known peer for its checkpoint.
-
-        A peer whose transfer just stalled out (``_install_avoid``) is
-        skipped when any other candidate exists -- its advertisement may
-        be stale evidence of a crashed process.
-        """
-        best_pid, best_frontier = None, self._next_delivery
-        for pid, frontier in self._peer_frontiers.items():
-            if frontier > best_frontier and pid != self._install_avoid:
-                best_pid, best_frontier = pid, frontier
-        if best_pid is None and self._install_avoid is not None:
-            avoided = self._peer_frontiers.get(self._install_avoid, 0)
-            if avoided > self._next_delivery:
-                best_pid, best_frontier = self._install_avoid, avoided
-        if best_pid is None:
-            return  # no advertisement seen yet; the periodic ticks will come
-        self._start_install(best_pid, best_frontier)
+        """Ask the most advanced known peer for its checkpoint."""
+        self._installer.request_from_best(self._peer_frontiers)
 
     def on_isnapshotoffer(self, msg: ISnapshotOffer, src: Hashable) -> None:
         if msg.frontier <= self._next_delivery:
             return  # no gain: we are already past the offered checkpoint
-        self._start_install(src, msg.frontier)
-
-    def _start_install(self, src: Hashable, frontier: int) -> None:
-        """Begin (or upgrade) a snapshot transfer from *src*.
-
-        A transfer in flight is replaced only by a strictly higher
-        frontier: its chunks carry their own frontier, and a sender
-        always answers with its *current* checkpoint anyway.  While the
-        current transfer has produced no chunk yet, further equal-or-
-        lower offers are debounced to the catch-up tick -- a laggard's
-        gap poll draws an ``ITruncated``/``ISnapshotOffer`` from every
-        acceptor and peer at once, and each full re-request would be
-        answered with the complete chunk set.  A dead source cannot pin
-        the install: the tick's stall counter abandons and re-sources it.
-        """
-        pend = self._pending_install
-        if pend is not None and pend["frontier"] >= frontier:
-            return
-        self._pending_install = {
-            "frontier": frontier,
-            "src": src,
-            "total": None,
-            "chunks": {},
-        }
-        self.send(src, ISnapshotRequest(frontier))
+        self._installer.begin(src, msg.frontier)
 
     def on_isnapshotrequest(self, msg: ISnapshotRequest, src: Hashable) -> None:
         snapshot = self.storage.read("snapshot")
         if snapshot is None:
             return
-        # Answer with our *current* checkpoint even if newer than asked:
-        # the chunks carry their own frontier, and newer strictly helps.
-        checkpoint = self.config.checkpoint
-        delivered = snapshot["delivered"]
-        chunk = checkpoint.chunk_size
-        total = 1 + (len(delivered) + chunk - 1) // chunk
-        seqs = range(total) if msg.chunks is None else msg.chunks
-        for seq in seqs:
-            if not 0 <= seq < total:
-                continue
-            payload = () if seq == 0 else delivered[(seq - 1) * chunk : seq * chunk]
-            machine = snapshot["machine"] if seq == 0 else None
-            self.send(
-                src,
-                ISnapshotChunk(snapshot["frontier"], seq, total, payload, machine),
-            )
-            self.snapshot_chunks_sent += 1
+        self.snapshot_chunks_sent += serve_snapshot(
+            self, msg, src, snapshot, self.config.checkpoint.chunk_size
+        )
 
     def on_isnapshotchunk(self, msg: ISnapshotChunk, src: Hashable) -> None:
-        if msg.frontier <= self._next_delivery:
-            return  # stale transfer: we advanced past it meanwhile
-        pend = self._pending_install
-        if pend is None or pend["frontier"] < msg.frontier:
-            pend = self._pending_install = {
-                "frontier": msg.frontier,
-                "src": src,
-                "total": msg.total,
-                "chunks": {},
-            }
-        elif pend["frontier"] > msg.frontier:
-            return  # chunks of an older transfer we already abandoned
-        pend["src"] = src
-        pend["total"] = msg.total
-        pend["chunks"][msg.seq] = msg
-        if len(pend["chunks"]) == msg.total:
-            self._install_snapshot(pend)
+        assembled = self._installer.fold_chunk(msg, src)
+        if assembled is not None:
+            self._install_snapshot(*assembled)
 
-    def _install_snapshot(self, pend: dict) -> None:
+    def _install_snapshot(
+        self, frontier: int, delivered: tuple, machine_state: Hashable | None
+    ) -> None:
         """Adopt a fully assembled peer checkpoint (state transfer).
 
         The agreed total order makes our delivered sequence a prefix of
@@ -1943,12 +1848,6 @@ class SMRLearner(Process):
         install must not send us below the cluster's truncation floor
         again).
         """
-        chunks = [pend["chunks"][seq] for seq in range(pend["total"])]
-        frontier = pend["frontier"]
-        delivered = tuple(cmd for part in chunks for cmd in part.payload)
-        machine_state = chunks[0].machine
-        self._pending_install = None
-        self._install_avoid = None
         if frontier <= self._next_delivery:
             return
         self.snapshot_installs += 1
@@ -1999,8 +1898,7 @@ class SMRLearner(Process):
         self.snap_frontier = 0
         self._votes = {}
         self._peer_frontiers = {}
-        self._pending_install = None
-        self._install_avoid = None
+        self._installer.reset()
         if self._replica is not None:
             self._replica.install_snapshot(None, ())
 
@@ -2054,7 +1952,7 @@ class SMRLearner(Process):
 class SMRCluster:
     """A deployed multicoordinated replication group."""
 
-    sim: Simulation
+    sim: Runtime
     config: InstancesConfig
     proposers: list[SMRProposer]
     coordinators: list[SMRCoordinator]
@@ -2141,8 +2039,43 @@ class SMRCluster:
         return self.sim.run_until(lambda: self.everyone_delivered(cmds), timeout=timeout)
 
 
+def make_instances_config(
+    n_proposers: int = 2,
+    n_coordinators: int = 3,
+    n_acceptors: int = 3,
+    n_learners: int = 1,
+    schedule: RoundSchedule | None = None,
+    liveness: LivenessConfig | None = None,
+    f: int | None = None,
+    batching: BatchingConfig | None = None,
+    retransmit: RetransmitConfig | None = None,
+    checkpoint: CheckpointConfig | None = None,
+) -> InstancesConfig:
+    """The deployment-independent engine config for a cluster shape.
+
+    Shared by :func:`build_smr` (simulator, whole cluster in one runtime)
+    and the networked node entrypoint (:mod:`repro.net.node`, each OS
+    process builds the identical config and instantiates only its hosted
+    roles) -- both backends must agree on topology, quorums and round
+    schedule for the role classes to interoperate.
+    """
+    topology = Topology.build(n_proposers, n_coordinators, n_acceptors, n_learners)
+    quorums = QuorumSystem(topology.acceptors, f=f)
+    if schedule is None:
+        schedule = RoundSchedule(range(n_coordinators), recovery_rtype=1)
+    return InstancesConfig(
+        topology=topology,
+        quorums=quorums,
+        schedule=schedule,
+        liveness=liveness,
+        batching=batching,
+        retransmit=retransmit,
+        checkpoint=checkpoint,
+    )
+
+
 def build_smr(
-    sim: Simulation,
+    sim: Runtime,
     n_proposers: int = 2,
     n_coordinators: int = 3,
     n_acceptors: int = 3,
@@ -2155,19 +2088,19 @@ def build_smr(
     checkpoint: CheckpointConfig | None = None,
 ) -> SMRCluster:
     """Deploy a multicoordinated MultiPaxos replication group on *sim*."""
-    topology = Topology.build(n_proposers, n_coordinators, n_acceptors, n_learners)
-    quorums = QuorumSystem(topology.acceptors, f=f)
-    if schedule is None:
-        schedule = RoundSchedule(range(n_coordinators), recovery_rtype=1)
-    config = InstancesConfig(
-        topology=topology,
-        quorums=quorums,
+    config = make_instances_config(
+        n_proposers=n_proposers,
+        n_coordinators=n_coordinators,
+        n_acceptors=n_acceptors,
+        n_learners=n_learners,
         schedule=schedule,
         liveness=liveness,
+        f=f,
         batching=batching,
         retransmit=retransmit,
         checkpoint=checkpoint,
     )
+    topology = config.topology
     return SMRCluster(
         sim=sim,
         config=config,

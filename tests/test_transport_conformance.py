@@ -1,0 +1,170 @@
+"""Transport conformance: the same scenarios on the simulator and on sockets.
+
+The Runtime seam's contract is that the role classes cannot tell the
+backends apart.  This suite runs one scenario matrix -- basic liveness,
+lossy-link convergence, learner crash + snapshot-install recovery --
+against **both** implementations:
+
+* ``sim``: the deterministic :class:`Simulation` (virtual time, seeded
+  drops), the repository's test oracle;
+* ``net``: a :class:`LoopbackDeployment` -- one asyncio runtime per node,
+  every message crossing a real loopback UDP/TCP socket through the
+  versioned codec, wall-clock timers.
+
+The *assertions* are identical (all commands delivered everywhere,
+learner orders identical, no transport errors); only the time scales
+differ (simulator units vs sub-second wall-clock configs).  Slow
+wall-clock cases are skipped under ``CI=quick``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+from dataclasses import dataclass
+
+import pytest
+
+from repro.core.checkpoint import CheckpointConfig, RetransmitConfig
+from repro.core.liveness import LivenessConfig
+from repro.cstruct.commands import Command
+from repro.net.cluster import (
+    LoopbackDeployment,
+    wall_clock_checkpoint,
+    wall_clock_liveness,
+    wall_clock_retransmit,
+)
+from repro.net.transport import DEFAULT_MTU
+from repro.sim.network import NetworkConfig
+from repro.sim.scheduler import Simulation
+from repro.smr.client import PipelinedClient
+from repro.smr.instances import build_smr, make_instances_config
+
+QUICK = os.environ.get("CI") == "quick"
+slow = pytest.mark.skipif(QUICK, reason="wall-clock case skipped under CI=quick")
+
+SHAPE = dict(n_proposers=2, n_coordinators=3, n_acceptors=3, n_learners=2)
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One conformance case, backend-agnostic."""
+
+    name: str
+    n_commands: int
+    loss: float = 0.0
+    checkpoint: bool = False
+    crash_learner: bool = False
+    mtu: int = DEFAULT_MTU  # net only; small values force the TCP path
+    seed: int = 5
+
+
+BASIC = Scenario("basic", n_commands=20)
+LOSSY = Scenario("lossy", n_commands=30, loss=0.15, seed=7)
+RECOVERY = Scenario(
+    "recovery", n_commands=36, loss=0.05, checkpoint=True, crash_learner=True,
+    mtu=300, seed=9,
+)
+
+
+def _commands(scenario: Scenario) -> list[Command]:
+    return [
+        Command(f"tc-{scenario.name}-{i}", "put", f"k{i % 4}", i)
+        for i in range(scenario.n_commands)
+    ]
+
+
+def _assert_converged(scenario, delivered, orders, errors=()):
+    assert delivered, f"{scenario.name}: not all commands delivered everywhere"
+    assert len(set(orders)) == 1, f"{scenario.name}: learner orders diverge"
+    assert len(orders[0]) == scenario.n_commands
+    assert not errors, f"{scenario.name}: transport errors: {errors}"
+
+
+# -- simulator backend ---------------------------------------------------------
+
+
+def run_sim(scenario: Scenario) -> None:
+    sim = Simulation(
+        seed=scenario.seed,
+        network=NetworkConfig(drop_rate=scenario.loss),
+        max_events=8_000_000,
+    )
+    cluster = build_smr(
+        sim,
+        **SHAPE,
+        retransmit=RetransmitConfig(),
+        liveness=LivenessConfig(),
+        checkpoint=(
+            CheckpointConfig(interval=8, chunk_size=4, gc_quorum=1)
+            if scenario.checkpoint
+            else None
+        ),
+    )
+    cluster.start_round(cluster.config.schedule.make_round(coord=0, count=1, rtype=2))
+    cmds = _commands(scenario)
+    for index, cmd in enumerate(cmds):
+        cluster.propose(cmd, delay=5.0 + 2.0 * index)
+    if scenario.crash_learner:
+        victim = cluster.learners[0]
+        sim.schedule(20.0, victim.crash)
+        sim.schedule(45.0, victim.recover)
+    delivered = cluster.run_until_delivered(cmds, timeout=50_000)
+    _assert_converged(scenario, delivered, cluster.delivery_orders())
+
+
+# -- asyncio/socket backend ----------------------------------------------------
+
+
+async def run_net(scenario: Scenario) -> None:
+    config = make_instances_config(
+        **SHAPE,
+        retransmit=wall_clock_retransmit(),
+        liveness=wall_clock_liveness(),
+        checkpoint=(
+            wall_clock_checkpoint(interval=8, chunk_size=4, gc_quorum=1)
+            if scenario.checkpoint
+            else None
+        ),
+    )
+    deployment = LoopbackDeployment(
+        config, seed=scenario.seed, loss_rate=scenario.loss, mtu=scenario.mtu
+    )
+    await deployment.start()
+    try:
+        client = PipelinedClient("conformance", deployment.cluster, window=4)
+        deployment.cluster.attach_client(client)
+        cmds = _commands(scenario)
+        client.submit(cmds)
+        if scenario.crash_learner:
+            victim = config.topology.learners[0]
+            deployment.driver.schedule(1.0, lambda: deployment.crash(victim))
+            deployment.driver.schedule(3.0, lambda: deployment.recover(victim))
+        delivered = await deployment.run_until_delivered(cmds, timeout=60.0)
+        _assert_converged(
+            scenario, delivered, deployment.delivery_orders(), deployment.errors()
+        )
+    finally:
+        await deployment.stop()
+
+
+# -- the matrix ----------------------------------------------------------------
+
+
+@pytest.mark.parametrize("scenario", [BASIC, LOSSY, RECOVERY], ids=lambda s: s.name)
+def test_sim_backend(scenario):
+    run_sim(scenario)
+
+
+def test_net_backend_basic():
+    asyncio.run(run_net(BASIC))
+
+
+@slow
+def test_net_backend_lossy():
+    asyncio.run(run_net(LOSSY))
+
+
+@slow
+def test_net_backend_recovery():
+    asyncio.run(run_net(RECOVERY))
