@@ -1374,6 +1374,305 @@ async def _e14_run(
     }
 
 
+# ---------------------------------------------------------------------------
+# E15 -- delta wire protocol: O(delta) hot paths, digest catch-up, sessions
+# ---------------------------------------------------------------------------
+
+_E15_HOT = ("Phase2a", "Phase2b", "Phase2aDelta", "Phase2bDelta")
+
+
+def _e15_sizer():
+    """Real codec frame lengths, memoized per unique c-struct payload.
+
+    Cumulative senders re-ship the *same* ``vval``/``cval`` object on
+    every poll answer and re-announce until their next accept, so caching
+    by payload identity keeps the byte accounting exact while avoiding
+    re-encoding hundreds of megabytes of repeated history.  The cache
+    holds a reference to each payload so an ``id`` is never reused.
+    """
+    from repro.net.codec import encode
+
+    cache: dict = {}
+
+    def size(msg) -> int:
+        payload = getattr(msg, "val", None)
+        if payload is None:
+            return len(encode(msg))
+        key = (type(msg).__name__, id(payload))
+        hit = cache.get(key)
+        if hit is None:
+            hit = cache[key] = (len(encode(msg)), payload)
+        return hit[0]
+
+    return size
+
+
+def _e15_conflicting_orders(learners, commands, key: str) -> set[tuple]:
+    """Per-learner delivered order restricted to *key* (the agreed part)."""
+    wanted = {c for c in commands if c.key == key}
+    orders = set()
+    for learner in learners:
+        seen: set = set()
+        order = []
+        for cmd in learner.delivered:
+            if cmd in wanted and cmd not in seen:
+                seen.add(cmd)
+                order.append(cmd)
+        orders.add(tuple(order))
+    return orders
+
+
+def _e15_run(
+    label: str,
+    n_commands: int,
+    delta: "DeltaConfig | None" = None,
+    sessions: "SessionConfig | None" = None,
+    checkpoint: "CheckpointConfig | None" = None,
+    seed: int = 31,
+    spacing: float = 24.0,
+    idle_span: float = 120.0,
+) -> Row:
+    """One trickle-load-then-idle run with every wire byte accounted.
+
+    Commands arrive *spacing* time units apart -- slow enough that the
+    reliability layer's periodic chatter (catch-up polls, 2a re-announce)
+    runs between arrivals, exactly the regime where the cumulative
+    protocol's O(history) payloads dominate.  After the load completes
+    the cluster sits idle for *idle_span* and the per-tick idle bytes are
+    measured: O(history) cumulative vs O(1) stamped under a
+    ``DeltaConfig``.  Wire bytes use the real codec length of every
+    simulator send (``Metrics.sizer``), so the numbers are the ones the
+    ``repro.net`` transport would put on loopback sockets.
+    """
+    from repro.core.checkpoint import RetransmitConfig
+
+    sim = Simulation(seed=seed, max_events=30_000_000)
+    sim.metrics.sizer = _e15_sizer()
+    retransmit = RetransmitConfig(catchup_interval=2.0)
+    cluster = build_generalized(
+        sim,
+        bottom=CommandHistory.bottom(kv_conflict()),
+        retransmit=retransmit,
+        checkpoint=checkpoint,
+        delta=delta,
+        sessions=sessions,
+    )
+    cluster.start_round(cluster.config.schedule.make_round(0, 1, 2))
+    commands = [
+        Command(f"e15c{i % 4}:{i // 4}", "put", f"k{i % 8}", i)
+        for i in range(n_commands)
+    ]
+    for i, cmd in enumerate(commands):
+        cluster.propose(cmd, delay=5.0 + i * spacing)
+    completed = cluster.run_until_learned(
+        commands, timeout=60.0 + 4.0 * spacing * n_commands
+    )
+
+    load_events = sim.events_processed
+    load_hot = sum(sim.metrics.bytes_by_type[t] for t in _E15_HOT)
+    idle_start = sim.metrics.total_bytes
+    sim.run(until=sim.clock + idle_span)
+    idle_bytes = sim.metrics.total_bytes - idle_start
+    ticks = (idle_span / retransmit.catchup_interval) * len(cluster.learners)
+    stats = cluster.delta_stats()
+    return {
+        "mode": label,
+        "commands": n_commands,
+        "completed": completed,
+        "orders agree": len(
+            _e15_conflicting_orders(cluster.learners, commands, "k0")
+        )
+        == 1,
+        "events / cmd": round(load_events / n_commands, 1),
+        "2a/2b B / cmd": round(load_hot / n_commands),
+        "idle B / tick": round(idle_bytes / ticks, 1),
+        "wire MB": round(sim.metrics.total_bytes / 1e6, 2),
+        "delta 2b": stats["delta_2b"],
+        "stamps": stats["stamps_confirmed"] + stats["acceptor_stamps_sent"],
+        "resyncs": stats["resyncs_sent"] + stats["acceptor_resyncs"],
+        "retained dedup": cluster.retained_dedup(),
+    }
+
+
+def experiment_e15(
+    n_grid: tuple[int, ...] = (100, 200, 400),
+    seed: int = 31,
+) -> list[Row]:
+    """Bytes-on-wire and events/command vs history length.
+
+    Cumulative mode re-ships the full c-struct on every accept, every 2a
+    re-announce and every catch-up answer, so per-command wire bytes and
+    idle-tick bytes grow linearly with history length.  Delta mode
+    (``DeltaConfig``) ships only unsent suffixes and answers matching
+    stamped polls with an O(1) ``VoteStamp`` -- both curves must go flat
+    (``benchmarks/bench_e15_delta.py`` asserts it).
+    """
+    from repro.core.generalized import DeltaConfig
+
+    rows: list[Row] = []
+    for n in n_grid:
+        rows.append(_e15_run(f"cumulative, {n} cmds", n, seed=seed))
+        rows.append(
+            _e15_run(
+                f"delta, {n} cmds",
+                n,
+                delta=DeltaConfig(idle_poll_every=8),
+                seed=seed,
+            )
+        )
+    return rows
+
+
+def experiment_e15_sessions(
+    base: int = 120,
+    interval: int = 40,
+    seed: int = 33,
+) -> list[Row]:
+    """Learner dedup memory: seen-*set* vs bounded session windows.
+
+    Both conditions run delta + checkpointing; the only difference is
+    ``SessionConfig``.  The legacy seen-set's retained cells grow with
+    the run (checkpointing bounds the *history lattice*, not the dedup
+    set), while the session windows stay ~flat across a 3x-longer run.
+    """
+    from repro.core.checkpoint import CheckpointConfig
+    from repro.core.generalized import DeltaConfig
+    from repro.core.sessions import SessionConfig
+
+    rows: list[Row] = []
+    for n in (base, 3 * base):
+        for label, sessions in (
+            ("seen-set", None),
+            ("sessions", SessionConfig(window=32)),
+        ):
+            rows.append(
+                _e15_run(
+                    f"{label}, {n} cmds",
+                    n,
+                    delta=DeltaConfig(),
+                    sessions=sessions,
+                    checkpoint=CheckpointConfig(interval=interval, gc_quorum=2),
+                    seed=seed,
+                    spacing=3.0,
+                    idle_span=60.0,
+                )
+            )
+    return rows
+
+
+def experiment_e15_net(
+    n_commands: int = 40,
+    seed: int = 29,
+) -> list[Row]:
+    """The delta protocol on real loopback sockets, one node per role.
+
+    The identical generalized-engine role classes run on per-role
+    :class:`~repro.net.transport.NetRuntime` nodes (every message through
+    the codec and a real UDP/TCP socket); wire bytes are the actual
+    encoded frame lengths counted by the transport.  The claim mirrors
+    the simulator rows: delta mode completes with agreeing learners and
+    puts fewer bytes on the wire, flat while idle.
+    """
+    import asyncio
+
+    return [
+        asyncio.run(_e15_net_run("cumulative", n_commands, False, seed)),
+        asyncio.run(_e15_net_run("delta", n_commands, True, seed)),
+    ]
+
+
+async def _e15_net_run(label: str, n_commands: int, use_delta: bool, seed: int) -> Row:
+    import asyncio
+
+    from repro.core.generalized import (
+        DeltaConfig,
+        GenAcceptor,
+        GenCoordinator,
+        GeneralizedConfig,
+        GenLearner,
+        GenProposer,
+    )
+    from repro.core.quorums import QuorumSystem as _QS
+    from repro.core.topology import Topology
+    from repro.net.cluster import wall_clock_retransmit
+    from repro.net.codec import CodecContext
+    from repro.net.transport import NetRuntime, loopback_book
+
+    topology = Topology.build(1, 2, 3, 2)
+    schedule = RoundSchedule(range(2), recovery_rtype=1)
+    config = GeneralizedConfig(
+        topology=topology,
+        quorums=_QS(topology.acceptors, f=1),
+        schedule=schedule,
+        bottom=CommandHistory.bottom(kv_conflict()),
+        retransmit=wall_clock_retransmit(),
+        delta=DeltaConfig() if use_delta else None,
+    )
+    pids = (
+        list(topology.proposers)
+        + list(topology.coordinators)
+        + list(topology.acceptors)
+        + list(topology.learners)
+    )
+    book = loopback_book(sorted(pids))
+    book.placement.update({pid: pid for pid in pids})
+    runtimes = {
+        pid: NetRuntime(
+            pid,
+            book,
+            seed=seed + i,
+            codec_context=CodecContext(kv_conflict()),
+        )
+        for i, pid in enumerate(sorted(pids))
+    }
+    for runtime in runtimes.values():
+        await runtime.start()
+    roles: dict[str, object] = {}
+    for pid in topology.proposers:
+        roles[pid] = GenProposer(pid, runtimes[pid], config)
+    for index, pid in enumerate(topology.coordinators):
+        roles[pid] = GenCoordinator(pid, runtimes[pid], config, index)
+    for pid in topology.acceptors:
+        roles[pid] = GenAcceptor(pid, runtimes[pid], config)
+    learners = [GenLearner(pid, runtimes[pid], config) for pid in topology.learners]
+    for learner in learners:
+        roles[learner.pid] = learner
+
+    coord0 = topology.coordinators[0]
+    rnd = schedule.make_round(0, 1, 2)
+    runtimes[coord0].schedule(0.0, lambda: roles[coord0].start_round(rnd))
+    commands = [Command(f"net:{i}", "put", "k0", i) for i in range(n_commands)]
+    proposer = roles[topology.proposers[0]]
+    for i, cmd in enumerate(commands):
+        runtimes[proposer.pid].schedule(
+            0.3 + i * 0.02, lambda cmd=cmd: proposer.propose(cmd)
+        )
+
+    driver = runtimes[coord0]
+    completed = await driver.wait_until(
+        lambda: all(
+            all(l.has_learned(cmd) for cmd in commands) for l in learners
+        ),
+        timeout=30.0,
+    )
+    idle_start = sum(r.metrics.total_bytes for r in runtimes.values())
+    t0 = driver.clock
+    await asyncio.sleep(2.0)
+    idle_span = driver.clock - t0
+    total = sum(r.metrics.total_bytes for r in runtimes.values())
+    orders = _e15_conflicting_orders(learners, commands, "k0")
+    for runtime in runtimes.values():
+        await runtime.stop()
+    return {
+        "mode": label,
+        "commands": n_commands,
+        "completed": completed,
+        "orders agree": len(orders) == 1,
+        "wire KB": round(total / 1e3, 1),
+        "idle B / s": round((total - idle_start) / idle_span),
+    }
+
+
 ALL_EXPERIMENTS: dict[str, Callable[[], list[Row]]] = {
     "E1 latency (steps)": experiment_e1,
     "E2 quorum sizes": experiment_e2,
@@ -1391,4 +1690,7 @@ ALL_EXPERIMENTS: dict[str, Callable[[], list[Row]]] = {
     "E13 generalized parity (batching)": experiment_e13,
     "E13 generalized parity (memory)": experiment_e13_memory,
     "E14 real-transport wall clock": experiment_e14,
+    "E15 delta wire protocol": experiment_e15,
+    "E15 sessions (bounded dedup)": experiment_e15_sessions,
+    "E15 delta on real sockets": experiment_e15_net,
 }

@@ -185,10 +185,14 @@ class ICheckpoint:
     not by position -- receivers split their history at the largest
     downward-closed prefix inside ``members``.  ``None`` for the
     multi-instance engine, whose frontier is a plain instance number.
+    Under :class:`repro.core.sessions.SessionConfig` the set travels as a
+    compact :class:`repro.core.sessions.SessionMembers` claim (per-client
+    interval runs) instead of a frozenset; both duck-type the membership
+    operations the truncation path uses.
     """
 
     frontier: int
-    members: frozenset | None = None
+    members: object | None = None  # frozenset | SessionMembers
 
 
 @dataclass(frozen=True)

@@ -89,6 +89,7 @@ outcome, only message/lattice-operation counts and memory:
 
 from __future__ import annotations
 
+from collections import Counter
 from dataclasses import dataclass, field, replace
 from itertools import combinations
 from math import comb
@@ -113,16 +114,27 @@ from repro.core.messages import (
     Phase1a,
     Phase1b,
     Phase2a,
+    Phase2aDelta,
     Phase2b,
+    Phase2bDelta,
     Propose,
     ProposeBatch,
+    ResyncRequest,
+    VoteStamp,
 )
 from repro.core.provedsafe import proved_safe
 from repro.core.quorums import QuorumSystem
 from repro.core.rounds import ZERO, RoundId, RoundSchedule
+from repro.core.sessions import (
+    SessionConfig,
+    SessionDedup,
+    members_intersection,
+    members_union,
+)
 from repro.core.topology import Topology
 from repro.cstruct.base import CStruct, IncompatibleError, glb_set
 from repro.cstruct.commands import Command
+from repro.cstruct.digest import DeltaTrail, digest_add, digest_of
 from repro.core.runtime import Process, Runtime
 
 
@@ -156,6 +168,42 @@ class GenBatchingConfig:
 
 
 @dataclass
+class DeltaConfig:
+    """Delta wire protocol knobs (generalized engine).
+
+    With a ``DeltaConfig`` the cumulative hot-path messages become
+    streams: coordinators ship :class:`~repro.core.messages.Phase2aDelta`
+    suffixes against their last announced 2a state, acceptors ship
+    :class:`~repro.core.messages.Phase2bDelta` suffixes against their
+    last broadcast vote, and the learners' catch-up polls carry
+    (size, digest) stamps answered by an O(1)
+    :class:`~repro.core.messages.VoteStamp` when nothing is missing.
+    Any stream gap falls back to the unchanged cumulative protocol via
+    :class:`~repro.core.messages.ResyncRequest` -- the delta layer
+    changes bytes-on-wire and per-event work, never outcomes.
+
+    Attributes:
+        trail: Accept events each acceptor keeps in its delta trail
+            (:class:`repro.cstruct.digest.DeltaTrail`); a stamped poll
+            whose base is still inside the trail is answered with the
+            exact missing suffix instead of the full vote.
+        idle_poll_every: A learner polls an acceptor it has confirmed
+            current only every this-many catch-up ticks (the O(1)
+            idle-chatter knob); acceptors with unconfirmed state are
+            polled every tick as before.
+    """
+
+    trail: int = 128
+    idle_poll_every: int = 4
+
+    def __post_init__(self) -> None:
+        if self.trail < 1:
+            raise ValueError("trail must be at least 1")
+        if self.idle_poll_every < 1:
+            raise ValueError("idle_poll_every must be at least 1")
+
+
+@dataclass
 class GeneralizedConfig:
     """Static configuration of one generalized deployment."""
 
@@ -170,6 +218,8 @@ class GeneralizedConfig:
     batching: GenBatchingConfig | None = None
     retransmit: RetransmitConfig | None = None
     checkpoint: CheckpointConfig | None = None
+    delta: DeltaConfig | None = None
+    sessions: SessionConfig | None = None
 
     def __post_init__(self) -> None:
         if tuple(sorted(self.quorums.acceptors)) != tuple(sorted(self.topology.acceptors)):
@@ -199,6 +249,15 @@ class GeneralizedConfig:
                     "checkpointing requires a c-struct with stable-prefix "
                     "support (CommandHistory)"
                 )
+        if self.delta is not None and self.retransmit is None:
+            # The delta streams repair through the reliability layer
+            # (stamped catch-up polls, resync answers); without it a
+            # single lost delta would strand the stream forever.
+            raise ValueError("delta requires retransmit (the repair layer)")
+        if self.sessions is not None and self.checkpoint is None:
+            # Bounded dedup prunes the delivered tail at snapshot time
+            # and persists the session table inside checkpoints.
+            raise ValueError("sessions requires checkpoint (snapshot carrier)")
 
 
 class _StableState:
@@ -220,16 +279,19 @@ class _StableState:
 
     def __init__(self, config: GeneralizedConfig) -> None:
         self.tracker = FrontierTracker.from_config(config)
-        self.members: dict[Hashable, frozenset] = {}
-        self.union: frozenset = frozenset()
+        # Member sets are frozensets, or compact SessionMembers claims
+        # under SessionConfig -- everything below goes through the
+        # representation-agnostic members_union/members_intersection.
+        self.members: dict[Hashable, object] = {}
+        self.union = frozenset()
         self.bound = 0
-        self.base: frozenset = frozenset()
+        self.base = frozenset()
 
     @property
     def enabled(self) -> bool:
         return self.tracker is not None
 
-    def fold(self, src: Hashable, frontier: int, members) -> frozenset | None:
+    def fold(self, src: Hashable, frontier: int, members):
         """Record one advertisement; return the new base when it grows."""
         if self.tracker is None:
             return None
@@ -238,7 +300,7 @@ class _StableState:
             previous = self.members.get(src)
             if previous is None or len(members) > len(previous):
                 self.members[src] = members
-                self.union = self.union | members
+                self.union = members_union(self.union, members)
         bound = self.tracker.safe_bound()
         if bound <= self.bound:
             return None
@@ -246,7 +308,9 @@ class _StableState:
         if not sets or any(s is None for s in sets):
             return None  # a contributor's member set is still in flight
         self.bound = bound
-        base = frozenset.intersection(*sets)
+        base = sets[0]
+        for other in sets[1:]:
+            base = members_intersection(base, other)
         if len(base) <= len(self.base):
             return None
         self.base = base
@@ -453,6 +517,7 @@ class GenCoordinator(Process):
         "_last_round_change",
         "_learned_cmds",
         "_p1b",
+        "_sent2a",
         "_unforwarded",
         "_unserved",
         "crnd",
@@ -461,6 +526,7 @@ class GenCoordinator(Process):
         "known_cmds",
         "reannounced_2a",
         "redriven_1a",
+        "resyncs_answered",
         "rounds_started",
     }
 
@@ -481,6 +547,12 @@ class GenCoordinator(Process):
         self.rounds_started = 0
         self.reannounced_2a = 0
         self.redriven_1a = 0
+        self.resyncs_answered = 0
+        # Delta mode: the (rnd, size, digest) stamp of the last announced
+        # 2a state -- the base the next Phase2aDelta extends.  None forces
+        # the next announcement to be a full cumulative Phase2a (round
+        # change, GC, recovery).
+        self._sent2a: tuple[RoundId, int, int] | None = None
         self._p1b: dict[RoundId, dict[Hashable, Phase1b]] = {}
         self._acceptor_hint: dict[Command, frozenset[str]] = {}
         self._fwd_timer = None
@@ -517,6 +589,7 @@ class GenCoordinator(Process):
     def _adopt(self, rnd: RoundId) -> None:
         self.crnd = rnd
         self.cval = None
+        self._sent2a = None
         self.highest_seen = max(self.highest_seen, rnd)
 
     # -- proposals (Phase2aClassic) ------------------------------------------------
@@ -599,8 +672,37 @@ class GenCoordinator(Process):
         self.cval = grown
         for cmd in appended:
             self.metrics.count_command_handled(self.pid)
-        targets = self._targets_for(appended)
+        if (
+            self.config.delta is not None
+            and self._sent2a is not None
+            and self._sent2a[0] == self.crnd
+        ):
+            # Ship only the unsent suffix against the announced stream.
+            # Delta streams are broadcast to every acceptor (quorum hints
+            # would fork per-acceptor mirrors of one stream).
+            rnd0, size0, digest0 = self._sent2a
+            self._sent2a = (
+                self.crnd, size0 + len(appended), digest_add(digest0, appended)
+            )
+            self.broadcast(
+                self.config.topology.acceptors,
+                Phase2aDelta(self.crnd, size0, digest0, tuple(appended), self.index),
+            )
+            return
+        targets = (
+            self.config.topology.acceptors
+            if self.config.delta is not None
+            else self._targets_for(appended)
+        )
         self.broadcast(targets, Phase2a(self.crnd, grown, self.index))
+        self._note_sent_2a()
+
+    def _note_sent_2a(self) -> None:
+        """Record the stream stamp of the state just announced in full."""
+        if self.config.delta is None or self.cval is None:
+            return
+        cmds = self.cval.command_set()
+        self._sent2a = (self.crnd, len(cmds), digest_of(cmds))
 
     def _targets_for(self, appended: list[Command]) -> tuple[str, ...]:
         """Acceptors to notify: the union of the commands' quorum hints."""
@@ -650,11 +752,32 @@ class GenCoordinator(Process):
         self.broadcast(
             self.config.topology.acceptors, Phase2a(self.crnd, value, self.index)
         )
+        self._note_sent_2a()
 
     # -- monitoring / liveness ----------------------------------------------------
 
     def on_phase2b(self, msg: Phase2b, src: Hashable) -> None:
         self.highest_seen = max(self.highest_seen, msg.rnd)
+
+    def on_phase2bdelta(self, msg: Phase2bDelta, src: Hashable) -> None:
+        self.highest_seen = max(self.highest_seen, msg.rnd)
+
+    def on_resyncrequest(self, msg: ResyncRequest, src: Hashable) -> None:
+        """An acceptor's 2a mirror diverged from our stream: resend it all.
+
+        The full cumulative Phase2a resets the requester's mirror; our
+        stream stamp is unchanged (the announced state did not move).
+        """
+        if self.config.delta is None or self.cval is None or self.crnd == ZERO:
+            return
+        if self.config.schedule.is_fast(self.crnd):
+            return
+        if not self.config.schedule.is_coordinator_of(self.index, self.crnd):
+            return
+        self.resyncs_answered += 1
+        # Unicast only: _sent2a still stamps the last *broadcast* state,
+        # which is what every other acceptor's mirror tracks.
+        self.send(src, Phase2a(self.crnd, self.cval, self.index))
 
     def on_learned(self, msg: Learned, src: Hashable) -> None:
         """A learner's progress report: these commands need no recovery."""
@@ -710,10 +833,25 @@ class GenCoordinator(Process):
             return
         if self.cval is not None:
             self.reannounced_2a += 1
-            self.broadcast(
-                self.config.topology.acceptors,
-                Phase2a(self.crnd, self.cval, self.index),
-            )
+            if (
+                self.config.delta is not None
+                and self._sent2a is not None
+                and self._sent2a[0] == self.crnd
+            ):
+                # O(1) re-announcement: an empty delta re-asserts the
+                # stream head; an acceptor that missed something answers
+                # with a resync request instead of silently diverging.
+                rnd0, size0, digest0 = self._sent2a
+                self.broadcast(
+                    self.config.topology.acceptors,
+                    Phase2aDelta(self.crnd, size0, digest0, (), self.index),
+                )
+            else:
+                self.broadcast(
+                    self.config.topology.acceptors,
+                    Phase2a(self.crnd, self.cval, self.index),
+                )
+                self._note_sent_2a()
         else:
             self.redriven_1a += 1
             self.broadcast(self.config.topology.acceptors, Phase1a(self.crnd))
@@ -748,14 +886,18 @@ class GenCoordinator(Process):
         if base is not None:
             self._apply_gc(base)
 
-    def _apply_gc(self, base: frozenset) -> None:
+    def _apply_gc(self, base) -> None:
         """Retire every stable-prefix command from the working state."""
         if self.cval is not None:
             self.cval = self.cval.without(base)
+            # Truncation rewrites the announced state: restart the delta
+            # stream with a full announcement.
+            self._sent2a = None
         self.known_cmds = [c for c in self.known_cmds if c not in base]
-        self._known -= base
+        self._known = {c for c in self._known if c not in base}
         self._unforwarded = [c for c in self._unforwarded if c not in base]
-        self._learned_cmds -= base  # dedup moves to the stable base itself
+        # Dedup moves to the stable base itself.
+        self._learned_cmds = {c for c in self._learned_cmds if c not in base}
         for cmd in [c for c in self._unserved if c in base]:
             del self._unserved[cmd]
         for cmd in [c for c in self._acceptor_hint if c in base]:
@@ -767,6 +909,7 @@ class GenCoordinator(Process):
         """Coordinators keep *no* stable state (Section 4.4)."""
         self.crnd = ZERO
         self.cval = None
+        self._sent2a = None
         self.known_cmds = []
         self._known = set()
         self._unforwarded = []
@@ -799,14 +942,21 @@ class GenAcceptor(Process):
     # proposals are rebuilt by retransmission, the rest are statistics.
     # Stable state is rnd/vrnd/vval via the delta journal.
     VOLATILE = {
+        "_2a_mirror",
         "_collided",
         "_p2a",
         "_p2a_merge",
         "_pending_set",
+        "_sent2b",
+        "_trail",
+        "_vote_digest",
         "collisions_detected",
         "commands_accepted",
+        "deltas_sent",
         "fast_accepts",
         "pending",
+        "resyncs_requested",
+        "stamps_sent",
     }
 
     def __init__(self, pid: str, sim: Runtime, config: GeneralizedConfig) -> None:
@@ -820,6 +970,20 @@ class GenAcceptor(Process):
         self.collisions_detected = 0
         self.fast_accepts = 0
         self.commands_accepted = 0  # distinct commands this acceptor accepted
+        # Delta-mode state: per-coordinator mirrors of the 2a streams, a
+        # rolling digest + bounded trail of our own vote stream, and the
+        # stamp of the last *broadcast* 2b (the next delta's base).
+        self._2a_mirror: dict[int, tuple[RoundId, int, int]] = {}
+        self._trail = DeltaTrail(config.delta.trail if config.delta else 1)
+        self._trail.reset(
+            len(config.bottom.command_set()),
+            digest_of(config.bottom.command_set()),
+        )
+        self._vote_digest = self._trail.digest
+        self._sent2b: tuple[RoundId, int, int] | None = None
+        self.deltas_sent = 0
+        self.stamps_sent = 0
+        self.resyncs_requested = 0
         self._p2a: dict[RoundId, dict[int, CStruct]] = {}
         # Running lub of every value recorded per round: the collision
         # detector merges each incoming value into it (one lub) instead of
@@ -884,29 +1048,73 @@ class GenAcceptor(Process):
         if rnd < self.rnd:
             self.send(src, Nack(rnd, self.rnd, self.pid))
             return
-        val = self._normalize(msg.val)
+        if self.config.delta is not None and hasattr(msg.val, "command_set"):
+            # A full 2a resets the coordinator's stream mirror: record the
+            # stamp in the *sender's* frame (raw, pre-normalization) so it
+            # matches the base stamps the coordinator puts on its deltas.
+            raw = msg.val.command_set()
+            self._2a_mirror[msg.coord] = (rnd, len(raw), digest_of(raw))
+        self._ingest_2a(rnd, self._normalize(msg.val), msg.coord)
+
+    def on_phase2adelta(self, msg: Phase2aDelta, src: Hashable) -> None:
+        """Extend the coordinator's 2a stream, or request a resync."""
+        if self.config.delta is None:
+            return
+        rnd = msg.rnd
+        if rnd < self.rnd:
+            self.send(src, Nack(rnd, self.rnd, self.pid))
+            return
+        mirror = self._2a_mirror.get(msg.coord)
+        if mirror is None or mirror[0] != rnd:
+            # No stream established for this round yet; a coordinator only
+            # sends deltas after a full 2a, so the empty-stream stamp is
+            # the bootstrap base (covers e.g. the ZERO-size fresh stream).
+            mirror = (rnd, 0, 0)
+        if (mirror[1], mirror[2]) != (msg.base_size, msg.base_digest):
+            self.resyncs_requested += 1
+            self.send(src, ResyncRequest(rnd, mirror[1]))
+            return
+        if not msg.cmds:
+            return  # reliability tick: stream head confirmed, nothing new
+        self._2a_mirror[msg.coord] = (
+            rnd,
+            msg.base_size + len(msg.cmds),
+            digest_add(msg.base_digest, msg.cmds),
+        )
+        prev = self._p2a.get(rnd, {}).get(msg.coord)
+        if prev is None:
+            prev = self.config.bottom
+        if self._stable.enabled and self._stable.base:
+            filtered = [c for c in msg.cmds if c not in self._stable.base]
+        else:
+            filtered = list(msg.cmds)
+        appended = [c for c in filtered if not prev.contains(c)]
+        self._ingest_2a(rnd, prev.extend(appended), msg.coord)
+
+    def _ingest_2a(self, rnd: RoundId, val: CStruct, coord: int) -> None:
+        """Record a coordinator's (reconstructed) 2a value and react."""
         buffer = self._p2a.setdefault(rnd, {})
         # A coordinator's cval grows monotonically within a round, but the
         # network may reorder its "2a" messages; keep the largest seen so a
         # stale message cannot regress the buffer.
-        previous = buffer.get(msg.coord)
+        previous = buffer.get(coord)
         changed = True
         if previous is None:
-            buffer[msg.coord] = val
+            buffer[coord] = val
         elif len(previous.command_set()) < len(val.command_set()):
             # Strictly more commands: newer on the coordinator's monotone
             # growth path (a reordered older message can only be smaller),
             # or a post-crash fork -- either way the larger value stands
             # and any incompatibility surfaces in the collision check.
-            buffer[msg.coord] = val
+            buffer[coord] = val
         elif previous is val or previous == val:
             changed = False  # duplicate delivery
         elif len(previous.command_set()) == len(val.command_set()):
-            buffer[msg.coord] = val  # same-size fork: surface the collision
+            buffer[coord] = val  # same-size fork: surface the collision
         elif val.leq(previous):
             changed = False  # stale reordered message
         else:
-            buffer[msg.coord] = val  # smaller incompatible fork: surface it
+            buffer[coord] = val  # smaller incompatible fork: surface it
         if changed and self._detect_collision(rnd, val):
             # An unchanged buffer cannot newly collide; only re-check after
             # an update.
@@ -934,7 +1142,7 @@ class GenAcceptor(Process):
             return
         senders = frozenset(buffer)
         for quorum in self.config.schedule.coord_quorums(rnd):
-            if msg.coord not in quorum:
+            if coord not in quorum:
                 # A quorum glb changes only when a member's buffered value
                 # does; quorums without this coordinator were evaluated
                 # when their members last reported.
@@ -1001,7 +1209,6 @@ class GenAcceptor(Process):
         """Phase2bClassic(a, i): accept ``u``, merging via ⊔ within a round."""
         if rnd < self.rnd:
             return
-        extension = True
         if self.vrnd == rnd:
             if lower_bound.leq(self.vval):
                 return  # nothing new to accept or report
@@ -1013,9 +1220,15 @@ class GenAcceptor(Process):
                 return
         else:
             new_value = lower_bound
-            # Only the delta journal cares whether the new round's pick
-            # extends the previous vote; skip the check otherwise.
-            extension = self.config.checkpoint is None or self.vval.leq(new_value)
+        # The delta journal and the delta wire trail both replay "the old
+        # vote extended by the fresh suffix", which is faithful only under
+        # the append-extension order ``leq`` tests (nothing new ordered
+        # before an existing command).  A same-round ⊔ can violate it
+        # too -- the merged-in value may constrain a gained command ahead
+        # of one we already hold -- so the check cannot be skipped for
+        # merges.  Skip it only when neither consumer is on.
+        need = self.config.checkpoint is not None or self.config.delta is not None
+        extension = not need or self.vval.leq(new_value)
         gained = new_value.command_set() - self.vval.command_set()
         self.commands_accepted += len(gained)
         # Delta hint for learners: the commands this acceptance added, in
@@ -1025,6 +1238,7 @@ class GenAcceptor(Process):
         self.vrnd = rnd
         self.vval = new_value
         self._persist_vote(fresh, extension)
+        self._delta_note_accept(fresh, extension)
         self._broadcast_2b(fresh)
 
     # -- phase 2b (fast) ---------------------------------------------------------------
@@ -1060,6 +1274,7 @@ class GenAcceptor(Process):
         self.commands_accepted += len(appended)
         self.vval = grown
         self._persist_vote(tuple(appended), True)
+        self._delta_note_accept(tuple(appended), True)
         self._broadcast_2b(tuple(appended))
 
     # -- shared helpers --------------------------------------------------------------
@@ -1089,8 +1304,51 @@ class GenAcceptor(Process):
         self.storage.append_many("gvote", self._journal_next, tail)
         self._journal_next += len(tail)
 
+    def _delta_note_accept(
+        self, fresh: tuple[Command, ...], extension: bool
+    ) -> None:
+        """Keep the rolling vote digest and the bounded trail current."""
+        if self.config.delta is None:
+            return
+        if extension:
+            self._trail.append(fresh)
+        else:
+            cmds = self.vval.command_set()
+            self._trail.reset(len(cmds), digest_of(cmds))
+        self._vote_digest = self._trail.digest
+
     def _broadcast_2b(self, fresh: tuple[Command, ...] | None = None) -> None:
-        vote = Phase2b(self.vrnd, self.vval, self.pid, fresh=fresh)
+        size = -1
+        suffix = None
+        if self.config.delta is not None:
+            size = len(self.vval.command_set())
+            if (
+                fresh is not None
+                and self._sent2b is not None
+                and self._sent2b[0] == self.vrnd
+            ):
+                # The delta path is only sound when the vote grew by pure
+                # *extension* since the last broadcast stamp: the trail
+                # records exactly that history (and was reset by any
+                # merge-accept or GC rewrite, making it unanswerable).  A
+                # set digest alone cannot tell the two apart -- a merge
+                # can keep the command set while reordering constraints,
+                # and a receiver extending its mirror by the set diff
+                # would silently diverge.  The first 2b of a new round
+                # never qualifies (the stamp names the previous round),
+                # so a round change always restarts the stream full.
+                suffix = self._trail.suffix_from(
+                    self._sent2b[1], self._sent2b[2]
+                )
+        if suffix is not None:
+            vote: Phase2b | Phase2bDelta = Phase2bDelta(
+                self.vrnd, self._sent2b[1], self._sent2b[2], suffix, self.pid
+            )
+            self.deltas_sent += 1
+        else:
+            vote = Phase2b(self.vrnd, self.vval, self.pid, fresh=fresh)
+        if self.config.delta is not None:
+            self._sent2b = (self.vrnd, size, self._vote_digest)
         self.broadcast(self.config.topology.learners, vote)
         if self.config.send_2b_to_coordinators:
             coords = self.config.topology.coordinator_pids(
@@ -1101,7 +1359,7 @@ class GenAcceptor(Process):
     # -- catch-up / checkpointing -----------------------------------------------------
 
     def on_catchup(self, msg: CatchUp, src: Hashable) -> None:
-        """Re-send the current vote: cumulative, so it heals any lost 2b."""
+        """Answer a gap poll: stamp ack, targeted delta, or full vote."""
         if self.config.retransmit is None:
             return
         if self.gc_floor > msg.seen:
@@ -1110,19 +1368,49 @@ class GenAcceptor(Process):
             # install.  (The collective bound alone is not evidence: it
             # can advance without this acceptor having truncated.)
             self.send(src, ITruncated(self.gc_floor))
-        if self.vrnd != ZERO:
-            self.send(src, Phase2b(self.vrnd, self.vval, self.pid, fresh=None))
+        if self.vrnd == ZERO:
+            return
+        if (
+            self.config.delta is not None
+            and msg.rnd is not None
+            and msg.rnd == self.vrnd
+        ):
+            # Two-phase answer: the poller's mirror stamp decides the size
+            # of the reply instead of always re-shipping the whole vote.
+            if (msg.size, msg.digest) == (self._trail.size, self._vote_digest):
+                self.stamps_sent += 1
+                self.send(
+                    src, VoteStamp(self.vrnd, msg.size, msg.digest, self.pid)
+                )
+                return
+            suffix = self._trail.suffix_from(msg.size, msg.digest)
+            if suffix is not None:
+                self.deltas_sent += 1
+                self.send(
+                    src,
+                    Phase2bDelta(
+                        self.vrnd, msg.size, msg.digest, suffix, self.pid
+                    ),
+                )
+                return
+        self.send(src, Phase2b(self.vrnd, self.vval, self.pid, fresh=None))
+
+    def on_resyncrequest(self, msg: ResyncRequest, src: Hashable) -> None:
+        """A learner's 2b mirror diverged: reset it with the full vote."""
+        if self.config.delta is None or self.vrnd == ZERO:
+            return
+        self.send(src, Phase2b(self.vrnd, self.vval, self.pid, fresh=None))
 
     def on_icheckpoint(self, msg: ICheckpoint, src: Hashable) -> None:
         base = self._stable.fold(src, msg.frontier, msg.members)
         if base is not None:
             self._apply_gc(base)
 
-    def _apply_gc(self, base: frozenset) -> None:
+    def _apply_gc(self, base) -> None:
         """Truncate the vote (and every buffer) below the stable base."""
         self.vval = self.vval.without(base)
         self.pending = [c for c in self.pending if c not in base]
-        self._pending_set -= base
+        self._pending_set = {c for c in self._pending_set if c not in base}
         for buffer in self._p2a.values():
             for coord in list(buffer):
                 buffer[coord] = buffer[coord].without(base)
@@ -1134,6 +1422,16 @@ class GenAcceptor(Process):
         self._rewrite_journal()
         self.gc_floor = self._stable.bound
         self.storage.write("gbase", (self.gc_floor, base))
+        if self.config.delta is not None:
+            # Truncation rewrites the vote in place: every outstanding
+            # stream stamp is stale, so restart the 2b stream (next
+            # broadcast is full) and forget per-coordinator 2a mirrors
+            # (their next delta mismatches and triggers a resync).
+            cmds = self.vval.command_set()
+            self._trail.reset(len(cmds), digest_of(cmds))
+            self._vote_digest = self._trail.digest
+            self._sent2b = None
+            self._2a_mirror = {}
 
     # -- crash-recovery -----------------------------------------------------------------
 
@@ -1150,6 +1448,10 @@ class GenAcceptor(Process):
         self._journal_next = 0
         self._persisted_vrnd = ZERO
         self.gc_floor = 0
+        self._2a_mirror = {}
+        self._sent2b = None
+        self._trail.reset(0, 0)
+        self._vote_digest = 0
 
     def on_recover(self) -> None:
         if self.config.checkpoint is None:
@@ -1172,6 +1474,13 @@ class GenAcceptor(Process):
             self.rnd = RoundId(mcount=mcount, count=0, coord=-1, rtype=0)
         else:
             self.rnd = self.storage.read("rnd", ZERO)
+        if self.config.delta is not None:
+            # Streams do not survive a crash: re-seed the trail from the
+            # recovered vote so stamped polls answer correctly, and leave
+            # every peer to resync off the next full broadcast.
+            cmds = self.vval.command_set()
+            self._trail.reset(len(cmds), digest_of(cmds))
+            self._vote_digest = self._trail.digest
 
 class GenLearner(Process):
     """Learns ever-growing c-structs from quorums of "2b" messages.
@@ -1201,18 +1510,30 @@ class GenLearner(Process):
     crash recovery restores the learner's own journalled checkpoint first.
     """
 
-    # Lost on crash by design: peer-frontier advertisements and the
-    # snapshot-install scratchpad are re-learned from the next gossip
-    # round; the rest are statistics.  Stable state is the learner's own
-    # checkpoint journal (restored in on_recover).
+    # Lost on crash by design: peer-frontier advertisements, the
+    # snapshot-install scratchpad and the delta-stream mirrors are
+    # re-learned from the next gossip/resync round; the rest are
+    # statistics.  Stable state is the learner's own checkpoint journal
+    # (restored in on_recover).
     VOLATILE = {
+        "_acc_current",
+        "_idle_polls",
         "_installer",
         "_peer_frontiers",
+        "_resync_pending",
+        "_unseen_count",
+        "_vote_raw",
         "catchup_requests",
+        "delta_2b_received",
+        "full_2b_received",
+        "glb_gate_skips",
         "lub_skips",
+        "polls_suppressed",
+        "resyncs_sent",
         "snapshot_chunks_sent",
         "snapshot_installs",
         "snapshots_taken",
+        "stamps_confirmed",
     }
 
     def __init__(self, pid: str, sim: Runtime, config: GeneralizedConfig) -> None:
@@ -1223,7 +1544,9 @@ class GenLearner(Process):
         self._callbacks: list[Callable[[tuple[Command, ...], CStruct], None]] = []
         # Executed frontier: every command ever learned (stable base
         # included -- ``learned`` itself only holds the tail above it).
-        self._seen: set[Command] = set(config.bottom.command_set())
+        # With SessionConfig this is a bounded SessionDedup instead of an
+        # ever-growing set; both support ``in``/``update``/``len``.
+        self._seen = self._fresh_seen()
         # Per-acceptor (for the acceptor's most recent round): commands of
         # the recorded vote not yet learned, plus the vote's round and size
         # (the delta-gap detector).  One entry per acceptor -- bounded
@@ -1232,6 +1555,24 @@ class GenLearner(Process):
         self._vote_unseen: dict[Hashable, set[Command]] = {}
         self._vote_rnd: dict[Hashable, RoundId] = {}
         self._vote_size: dict[Hashable, int] = {}
+        # Delta-mode state: per-acceptor raw mirrors of the 2b streams
+        # (stamped in the *sender's* frame), the acceptors confirmed
+        # current (their polls drop to the idle cadence), and the pooled
+        # unseen-command counter backing the quorum-feasibility gate.
+        self._vote_raw: dict[Hashable, tuple[RoundId, int, int]] = {}
+        self._acc_current: set[Hashable] = set()
+        self._resync_pending: set[Hashable] = set()
+        self._unseen_count: Counter = Counter()
+        self._idle_polls = 0
+        # Monotone learn count; ``delivered`` itself may be pruned to the
+        # session window at snapshot time.
+        self.delivered_total = 0
+        self.full_2b_received = 0
+        self.delta_2b_received = 0
+        self.stamps_confirmed = 0
+        self.resyncs_sent = 0
+        self.polls_suppressed = 0
+        self.glb_gate_skips = 0
         # Checkpointing state.
         self._stable = _StableState(config)
         self._replica = None  # set via register_replica (BroadcastReplica)
@@ -1277,6 +1618,20 @@ class GenLearner(Process):
         """
         return cmd in self._seen
 
+    def _fresh_seen(self):
+        """An empty executed frontier: bounded dedup or plain set."""
+        if self.config.sessions is not None:
+            seen = SessionDedup(self.config.sessions.window)
+            seen.update(self.config.bottom.command_set())
+            return seen
+        return set(self.config.bottom.command_set())
+
+    def _covers(self, members) -> bool:
+        """Does the executed frontier include every member of the claim?"""
+        if isinstance(self._seen, SessionDedup):
+            return self._seen.covers(members)
+        return members <= self._seen
+
     def _note_vote(
         self, rnd: RoundId, acceptor: Hashable, vote: CStruct, fresh
     ) -> None:
@@ -1296,11 +1651,21 @@ class GenLearner(Process):
             and self._vote_rnd.get(acceptor) == rnd
             and self._vote_size.get(acceptor, -1) + len(fresh) == size
         ):
-            unseen.update(c for c in fresh if c not in self._seen)
+            for c in fresh:
+                if c not in self._seen and c not in unseen:
+                    unseen.add(c)
+                    self._unseen_count[c] += 1
         else:
-            self._vote_unseen[acceptor] = {
-                c for c in vote.command_set() if c not in self._seen
-            }
+            if unseen:
+                for c in unseen:
+                    count = self._unseen_count[c] - 1
+                    if count > 0:
+                        self._unseen_count[c] = count
+                    else:
+                        del self._unseen_count[c]
+            rescanned = {c for c in vote.command_set() if c not in self._seen}
+            self._vote_unseen[acceptor] = rescanned
+            self._unseen_count.update(rescanned)
         self._vote_rnd[acceptor] = rnd
         self._vote_size[acceptor] = size
 
@@ -1317,6 +1682,12 @@ class GenLearner(Process):
 
     def on_phase2b(self, msg: Phase2b, src: Hashable) -> None:
         val = msg.val
+        if self.config.delta is not None and hasattr(msg.val, "command_set"):
+            # A full 2b resets the acceptor's stream mirror (stamped in
+            # the sender's frame, pre-normalization).
+            raw = msg.val.command_set()
+            self._update_mirror(msg.acceptor, msg.rnd, len(raw), digest_of(raw))
+            self.full_2b_received += 1
         if self._stable.enabled and self._stable.base:
             # Fold lagging-truncation votes into our base frame.
             val = val.without(self._stable.base)
@@ -1331,10 +1702,129 @@ class GenLearner(Process):
         ):
             votes[msg.acceptor] = val
             self._note_vote(msg.rnd, msg.acceptor, val, msg.fresh)
+        elif previous != val and not val.leq(previous):
+            # Not an older frame of the same growth path (that is the
+            # cheap leq case above: a reordered smaller "2b", safely
+            # ignored).  The sender's GC can rewrite its frame to a tail
+            # *smaller* than our record while a concurrent merge gains
+            # commands our record has never seen -- under the size rule
+            # those commands would be dropped forever, and with delta
+            # streams no later full re-ships them (stamped polls answer
+            # VoteStamp and suffixes extend the stale record).  A full is
+            # authoritative about *content*, so fold it in: the lub keeps
+            # the pre-truncation prefix our record legitimately retains
+            # and adopts everything the frame gained, never reordering a
+            # common pair.  A genuinely incompatible record (a diverged
+            # delta reconstruction) is replaced by the authoritative vote.
+            try:
+                merged = previous.lub(val)
+            except IncompatibleError:
+                merged = val
+            if merged != previous:
+                votes[msg.acceptor] = merged
+                self._note_vote(msg.rnd, msg.acceptor, merged, None)
+        self._evaluate(msg.rnd)
+
+    def _update_mirror(
+        self, acceptor: Hashable, rnd: RoundId, size: int, digest: int
+    ) -> None:
+        """Reset the raw 2b-stream mirror from a full vote.
+
+        A full ``Phase2b`` is authoritative about the sender's *current*
+        frame, which legitimately regresses when the acceptor's GC
+        rewrites its vote to the retained tail -- so a same-round smaller
+        stamp must still reset the mirror or it wedges ahead forever
+        (every later delta would be misread as stale).  A reordered
+        *older* full costs at most one extra resync round-trip before the
+        stream re-attaches; only an older *round* is ignored.
+        """
+        mirror = self._vote_raw.get(acceptor)
+        if mirror is None or rnd >= mirror[0]:
+            self._vote_raw[acceptor] = (rnd, size, digest)
+            self._acc_current.add(acceptor)
+            self._resync_pending.discard(acceptor)
+
+    def on_phase2bdelta(self, msg: Phase2bDelta, src: Hashable) -> None:
+        """Extend an acceptor's recorded vote by the shipped suffix."""
+        if self.config.delta is None:
+            return
+        acc = msg.acceptor
+        mirror = self._vote_raw.get(acc)
+        if mirror is not None and msg.rnd < mirror[0]:
+            return  # older round: the stream moved on
+        if mirror is None or mirror != (msg.rnd, msg.base_size, msg.base_digest):
+            # The suffix does not attach to what we hold.  A re-delivery
+            # of the delta that produced the current mirror is the common
+            # duplicate -- verified by digest, not size, because the
+            # sender's GC can rewrite its frame to a *smaller* one whose
+            # suffixes a size test would misread as stale.  Anything else
+            # is a gap or divergence: fetch-on-mismatch, asking once per
+            # mirror movement (the full vote resets the stream and clears
+            # the pending flag; further unattachable deltas meanwhile are
+            # answered by that same full).
+            if (
+                mirror is not None
+                and msg.rnd == mirror[0]
+                and msg.base_size + len(msg.fresh) == mirror[1]
+                and digest_add(msg.base_digest, msg.fresh) == mirror[2]
+            ):
+                return  # duplicate of the applied stream head
+            if acc not in self._resync_pending:
+                self._resync_pending.add(acc)
+                self.resyncs_sent += 1
+                self._acc_current.discard(acc)
+                self.send(src, ResyncRequest(msg.rnd, mirror[1] if mirror else 0))
+            return
+        self.delta_2b_received += 1
+        self._resync_pending.discard(acc)
+        self._vote_raw[acc] = (
+            msg.rnd,
+            msg.base_size + len(msg.fresh),
+            digest_add(msg.base_digest, msg.fresh),
+        )
+        self._acc_current.add(acc)
+        votes = self._latest.setdefault(msg.rnd, {})
+        prev = votes.get(acc)
+        if prev is None:
+            prev = self.config.bottom
+        if self._stable.enabled and self._stable.base:
+            filtered = [c for c in msg.fresh if c not in self._stable.base]
+        else:
+            filtered = list(msg.fresh)
+        appended = tuple(c for c in filtered if not prev.contains(c))
+        val = prev.extend(appended)
+        votes[acc] = val
+        self._note_vote(msg.rnd, acc, val, appended)
+        self._evaluate(msg.rnd)
+
+    def on_votestamp(self, msg: VoteStamp, src: Hashable) -> None:
+        """An acceptor confirmed our mirror of its vote is current."""
+        if self.config.delta is None:
+            return
+        if self._vote_raw.get(msg.acceptor) == (msg.rnd, msg.size, msg.digest):
+            self._acc_current.add(msg.acceptor)
+            self.stamps_confirmed += 1
+
+    def _evaluate(self, rnd: RoundId) -> None:
+        """Try to grow the learned struct from the recorded votes of *rnd*."""
+        votes = self._latest.get(rnd)
+        if votes is None:
+            return
         needed = self.config.quorums.quorum_size(
-            fast=self.config.schedule.is_fast(msg.rnd)
+            fast=self.config.schedule.is_fast(rnd)
         )
         if len(votes) < needed:
+            return
+        # Feasibility gate: a command can enter a quorum glb only if it is
+        # unseen in *every* member's vote, i.e. counted >= needed times in
+        # the pooled unseen counter.  Exact whenever every recorded vote
+        # sits on the maintained frontier; then the common "echo of an
+        # already-learned suffix" delivery skips the per-vote set walks
+        # and the glb enumeration entirely.
+        if all(self._vote_rnd.get(acc) == rnd for acc in votes) and not any(
+            count >= needed for count in self._unseen_count.values()
+        ):
+            self.glb_gate_skips += 1
             return
         # A quorum glb is bounded above by each member's vote, so only
         # quorums made entirely of votes with unseen commands can grow the
@@ -1344,7 +1834,7 @@ class GenLearner(Process):
         # already-learned commands would not crash here -- the invariant
         # oracles (repro.core.invariants) remain the authoritative check.
         unseen_by_acc = {
-            acc: self._unseen_of(msg.rnd, acc, vote) for acc, vote in votes.items()
+            acc: self._unseen_of(rnd, acc, vote) for acc, vote in votes.items()
         }
         growers = {acc for acc, unseen in unseen_by_acc.items() if unseen}
         if len(growers) < needed:
@@ -1391,8 +1881,11 @@ class GenLearner(Process):
             return
         self._seen.update(fresh)
         self.delivered.extend(fresh)
+        self.delivered_total += len(fresh)
         for unseen in self._vote_unseen.values():
             unseen.difference_update(fresh)
+        for cmd in fresh:
+            self._unseen_count.pop(cmd, None)
         for cmd in fresh:
             self.metrics.record_learn(cmd, self.pid, self.now)
         if self.config.checkpoint is not None:
@@ -1444,7 +1937,7 @@ class GenLearner(Process):
         checkpoint = self.config.checkpoint
         if checkpoint is None:
             return
-        delta = len(self.delivered) - self.snap_frontier
+        delta = self.delivered_total - self.snap_frontier
         if delta <= 0:
             return
         due = delta >= checkpoint.interval
@@ -1462,11 +1955,24 @@ class GenLearner(Process):
         the at-most-once dedup evidence) and the machine state, so an
         installer needs nothing else to resume from the frontier.
         """
-        frontier = len(self.delivered)
+        frontier = self.delivered_total
         machine_state = (
             self._replica.snapshot_state() if self._replica is not None else None
         )
-        members = frozenset(self.delivered)
+        if self.config.sessions is not None:
+            # Bounded-memory checkpoint: the dedup evidence rides in its
+            # compact session form (packed into the machine field -- the
+            # snapshot chunker only carries delivered/machine/frontier),
+            # the membership claim is interval runs, and the delivered
+            # tail is pruned to the window.  Decisions older than the
+            # window live inside the session floors.
+            members: object = self._seen.members()
+            machine_state = ("sessions1", machine_state, self._seen.state())
+            window = self.config.sessions.window
+            if len(self.delivered) > window:
+                del self.delivered[: len(self.delivered) - window]
+        else:
+            members = frozenset(self.delivered)
         self.storage.write(
             "snapshot",
             {
@@ -1505,7 +2011,7 @@ class GenLearner(Process):
         base = self._stable.fold(src, msg.frontier, msg.members)
         if base is None:
             return
-        if base <= self._seen:
+        if self._covers(base):
             self._apply_gc(base)
         else:
             # The *collective* stable base -- what the cluster is entitled
@@ -1517,17 +2023,26 @@ class GenLearner(Process):
             # routine lag heals through the cumulative vote stream.
             self._request_install()
 
-    def _apply_gc(self, base: frozenset) -> None:
+    def _apply_gc(self, base) -> None:
         """Truncate the learned tail (and vote buffers) below the base."""
         self.learned = self.learned.without(base)
         for votes in self._latest.values():
             for acc in list(votes):
                 votes[acc] = votes[acc].without(base)
         # Vote-size bookkeeping refers to pre-truncation sizes; reset so
-        # the next delivery per acceptor does one full rescan.
+        # the next delivery per acceptor does one full rescan.  The raw
+        # stream mirrors survive: they stamp the *senders'* frames, which
+        # truncation here does not move.
         self._vote_unseen = {}
         self._vote_rnd = {}
         self._vote_size = {}
+        self._unseen_count = Counter()
+        # A base advance is exactly when a lub skipped for base skew
+        # becomes retryable -- and with delta streams, stamped polls
+        # confirm currency without re-delivering the votes, so no later
+        # message is guaranteed to trigger the retry.  Re-evaluate here.
+        for rnd in list(self._latest):
+            self._evaluate(rnd)
 
     # -- catch-up / snapshot install ----------------------------------------
 
@@ -1545,13 +2060,40 @@ class GenLearner(Process):
         if (
             self._installer.pending is None
             and self._stable.enabled
-            and not (self._stable.base <= self._seen)
+            and not self._covers(self._stable.base)
         ):
             self._request_install()
-        # Vote poll: cumulative votes re-deliver anything a lost "2b"
-        # carried, so one poll heals arbitrarily many losses.
-        self.catchup_requests += 1
-        self.broadcast(self.config.topology.acceptors, CatchUp(seen=len(self._seen)))
+        if self.config.delta is None:
+            # Vote poll: cumulative votes re-deliver anything a lost "2b"
+            # carried, so one poll heals arbitrarily many losses.
+            self.catchup_requests += 1
+            self.broadcast(
+                self.config.topology.acceptors, CatchUp(seen=len(self._seen))
+            )
+            return
+        # Stamped polls: acceptors confirmed current are re-polled only on
+        # the slow idle cadence; the rest get a poll carrying our mirror
+        # stamp, answered with an O(1) ack, a targeted suffix, or (after
+        # divergence) the full vote.  Idle-cluster chatter is O(1) bytes
+        # per slow tick instead of O(history) per tick.
+        self._idle_polls += 1
+        due_all = self._idle_polls % self.config.delta.idle_poll_every == 0
+        seen = len(self._seen)
+        for acc in self.config.topology.acceptors:
+            if acc in self._acc_current and not due_all:
+                self.polls_suppressed += 1
+                continue
+            self.catchup_requests += 1
+            mirror = self._vote_raw.get(acc)
+            if mirror is None:
+                self.send(acc, CatchUp(seen=seen))
+            else:
+                self.send(
+                    acc,
+                    CatchUp(
+                        seen=seen, rnd=mirror[0], size=mirror[1], digest=mirror[2]
+                    ),
+                )
 
     def on_itruncated(self, msg: ITruncated, src: Hashable) -> None:
         """An acceptor's vote tail starts above our knowledge: install."""
@@ -1592,12 +2134,26 @@ class GenLearner(Process):
         journalled one -- a crash right after the install must not send us
         below the cluster's truncation floor again.
         """
-        if len(delivered) <= len(self._seen):
-            return
-        members = frozenset(delivered)
-        extras = tuple(
-            c for c in self.learned.linear_extension() if c not in members
-        )
+        if self.config.sessions is not None:
+            if frontier <= self.delivered_total:
+                return
+            # The dedup evidence travels packed in the machine field (the
+            # delivered tail is pruned to the window); the restored
+            # sessions -- not the tail -- are the membership authority.
+            restored = SessionDedup.restore(
+                machine_state[2], self.config.sessions.window
+            )
+            members: object = restored.members()
+            extras = tuple(
+                c for c in self.learned.linear_extension() if c not in restored
+            )
+        else:
+            if len(delivered) <= len(self._seen):
+                return
+            members = frozenset(delivered)
+            extras = tuple(
+                c for c in self.learned.linear_extension() if c not in members
+            )
         self.snapshot_installs += 1
         self.storage.write(
             "snapshot",
@@ -1616,11 +2172,12 @@ class GenLearner(Process):
             self.learned = self.config.bottom.extend(extras)
             self._seen.update(extras)
             self.delivered.extend(extras)
+            self.delivered_total += len(extras)
             for callback in self._callbacks:
                 callback(extras, self.learned)
 
     def _adopt_checkpoint(
-        self, frontier: int, delivered: tuple, machine_state, members: frozenset
+        self, frontier: int, delivered: tuple, machine_state, members
     ) -> None:
         """Fast-forward the learn state to a checkpoint.
 
@@ -1628,12 +2185,29 @@ class GenLearner(Process):
         (restoring the learner's own journalled checkpoint).
         """
         self.delivered = list(delivered)
-        self._seen = set(delivered) | set(self.config.bottom.command_set())
+        self.delivered_total = frontier
+        if (
+            self.config.sessions is not None
+            and isinstance(machine_state, tuple)
+            and machine_state
+            and machine_state[0] == "sessions1"
+        ):
+            _tag, machine_state, sess_state = machine_state
+            self._seen = SessionDedup.restore(
+                sess_state, self.config.sessions.window
+            )
+            self._seen.update(self.config.bottom.command_set())
+        else:
+            self._seen = set(delivered) | set(self.config.bottom.command_set())
         self.learned = self.config.bottom
         self._latest = {}
         self._vote_unseen = {}
         self._vote_rnd = {}
         self._vote_size = {}
+        self._unseen_count = Counter()
+        self._vote_raw = {}
+        self._acc_current = set()
+        self._resync_pending = set()
         self._stable.base = members
         self._stable.bound = max(self._stable.bound, frontier)
         self._stable.union = self._stable.union | members
@@ -1654,11 +2228,17 @@ class GenLearner(Process):
             return
         self.learned = self.config.bottom
         self._latest = {}
-        self._seen = set(self.config.bottom.command_set())
+        self._seen = self._fresh_seen()
         self._vote_unseen = {}
         self._vote_rnd = {}
         self._vote_size = {}
+        self._unseen_count = Counter()
+        self._vote_raw = {}
+        self._acc_current = set()
+        self._resync_pending = set()
+        self._idle_polls = 0
         self.delivered = []
+        self.delivered_total = 0
         self.snap_frontier = 0
         self._snap_members = frozenset()
         self._bytes_since_snap = 0
@@ -1753,6 +2333,34 @@ class GeneralizedCluster:
             "catchup_requests": sum(l.catchup_requests for l in self.learners),
         }
 
+    def delta_stats(self) -> dict[str, int]:
+        """Aggregate delta-wire-protocol counters across the cluster."""
+        return {
+            "full_2b": sum(l.full_2b_received for l in self.learners),
+            "delta_2b": sum(l.delta_2b_received for l in self.learners),
+            "stamps_confirmed": sum(l.stamps_confirmed for l in self.learners),
+            "resyncs_sent": sum(l.resyncs_sent for l in self.learners),
+            "polls_suppressed": sum(l.polls_suppressed for l in self.learners),
+            "glb_gate_skips": sum(l.glb_gate_skips for l in self.learners),
+            "acceptor_deltas_sent": sum(a.deltas_sent for a in self.acceptors),
+            "acceptor_stamps_sent": sum(a.stamps_sent for a in self.acceptors),
+            "acceptor_resyncs": sum(a.resyncs_requested for a in self.acceptors),
+            "coordinator_resyncs_answered": sum(
+                c.resyncs_answered for c in self.coordinators
+            ),
+        }
+
+    def retained_dedup(self) -> int:
+        """Worst-case learner dedup cells retained (the E15 bound metric)."""
+        return max(
+            (
+                l._seen.retained()
+                if isinstance(l._seen, SessionDedup)
+                else len(l._seen)
+            )
+            for l in self.learners
+        )
+
     def checkpoint_stats(self) -> dict[str, int]:
         """Aggregate checkpoint/GC counters across the cluster."""
         return {
@@ -1812,6 +2420,8 @@ def build_generalized(
     batching: GenBatchingConfig | None = None,
     retransmit: RetransmitConfig | None = None,
     checkpoint: CheckpointConfig | None = None,
+    delta: DeltaConfig | None = None,
+    sessions: SessionConfig | None = None,
 ) -> GeneralizedCluster:
     """Deploy a Multicoordinated Generalized Paxos instance on *sim*."""
     topology = Topology.build(n_proposers, n_coordinators, n_acceptors, n_learners)
@@ -1828,6 +2438,8 @@ def build_generalized(
         batching=batching,
         retransmit=retransmit,
         checkpoint=checkpoint,
+        delta=delta,
+        sessions=sessions,
     )
     return GeneralizedCluster(
         sim=sim,

@@ -81,9 +81,21 @@ class CatchUp:
     commands the polling learner has learned; an acceptor whose truncation
     floor is above it answers with ``ITruncated`` too, steering the
     laggard to snapshot install.
+
+    Under :class:`repro.core.generalized.DeltaConfig` the poll carries a
+    *stamp* of the poller's mirror of this acceptor's vote stream
+    (``rnd`` + ``size``/``digest``, see :mod:`repro.cstruct.digest`).
+    A stamped poll turns the answer two-phase: a matching acceptor
+    replies with an O(1) :class:`VoteStamp` ack, one holding the stamp
+    in its delta trail replies with exactly the missing suffix
+    (:class:`Phase2bDelta`), and only a diverged or trail-expired
+    responder falls back to the full cumulative ``Phase2b``.
     """
 
     seen: int = 0
+    rnd: RoundId | None = None
+    size: int = -1
+    digest: int = 0
 
 
 @dataclass(frozen=True)
@@ -152,3 +164,86 @@ class Learned:
 
     cmds: tuple[Hashable, ...]
     learner: Hashable
+
+
+# -- delta wire protocol (DeltaConfig, generalized engine) ---------------------
+#
+# Cumulative 2a/2b messages re-carry the sender's whole c-struct on every
+# send.  Under DeltaConfig each sender instead maintains one monotone
+# *stream* per round -- stamped by the (size, digest) of the command set
+# already shipped -- and transmits only the unsent suffix.  A receiver
+# whose mirror of the stream matches the base stamp extends in O(delta);
+# any mismatch (lost delta, GC on the sender, crash on either side)
+# triggers fetch-on-mismatch repair via ResyncRequest, answered with the
+# plain cumulative message, which resets the stream.  Correctness never
+# rests on the digests: they only decide *when* to fall back to the
+# cumulative protocol, whose semantics are unchanged.
+
+
+@dataclass(frozen=True)
+class Phase2aDelta:
+    """Coordinator → acceptors: the unsent suffix of the round's c-struct.
+
+    Extends the coordinator's 2a stream for ``rnd``: an acceptor whose
+    mirror matches ``(base_size, base_digest)`` appends ``cmds`` to its
+    buffered 2a value and proceeds exactly as for a full ``Phase2a``; on
+    mismatch it answers with :class:`ResyncRequest`.  An empty ``cmds``
+    is the reliability tick's O(1) re-announcement of the stream head.
+    """
+
+    rnd: RoundId
+    base_size: int
+    base_digest: int
+    cmds: tuple[Hashable, ...]
+    coord: int
+
+
+@dataclass(frozen=True)
+class Phase2bDelta:
+    """Acceptor → learners (and coordinators): the vote's unsent suffix.
+
+    Extends the acceptor's 2b stream: ``fresh`` are the commands gained
+    since the state stamped ``(base_size, base_digest)``.  A learner
+    whose mirror matches extends the recorded vote and updates its
+    frontier in O(|fresh|); on mismatch it answers ``ResyncRequest`` and
+    the acceptor falls back to the full cumulative ``Phase2b``.  Also
+    the targeted answer to a stamped ``CatchUp`` poll whose stamp is
+    still in the acceptor's delta trail.
+    """
+
+    rnd: RoundId
+    base_size: int
+    base_digest: int
+    fresh: tuple[Hashable, ...]
+    acceptor: Hashable
+
+
+@dataclass(frozen=True)
+class VoteStamp:
+    """Acceptor → learner: "you're current" -- the O(1) catch-up ack.
+
+    Echoes the stamp of a ``CatchUp`` poll that matched the acceptor's
+    vote exactly.  The learner marks the acceptor current and slows its
+    polls to the idle cadence; a stamp that no longer matches the
+    learner's mirror (the mirror advanced meanwhile) is stale and
+    ignored.
+    """
+
+    rnd: RoundId
+    size: int
+    digest: int
+    acceptor: Hashable
+
+
+@dataclass(frozen=True)
+class ResyncRequest:
+    """Receiver → stream sender: delta base mismatch, send it all.
+
+    The fetch-on-mismatch repair path: a coordinator answers with its
+    full ``Phase2a``, an acceptor with its full ``Phase2b``, either of
+    which resets the requester's mirror.  ``size`` reports the
+    requester's mirror size (diagnostic only).
+    """
+
+    rnd: RoundId
+    size: int = 0

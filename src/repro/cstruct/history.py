@@ -603,7 +603,9 @@ class CommandHistory(CStruct):
         cross edges can *relax* its canonical order.  O(n) set operations
         plus O(|tail| log |tail|); no conflict-relation calls.
         """
-        if not isinstance(members, (set, frozenset)):
+        if not hasattr(members, "isdisjoint"):
+            # Plain iterables are materialized; set-likes (including the
+            # compact SessionMembers claims) are used through membership.
             members = frozenset(members)
         if not members or not self.cmds:
             return CommandHistory.bottom(self.conflict), self
@@ -638,7 +640,7 @@ class CommandHistory(CStruct):
         normalization of the checkpointing layer -- receivers strip their
         own stable base from incoming c-structs before comparing/merging.
         """
-        if not isinstance(members, (set, frozenset)):
+        if not hasattr(members, "isdisjoint"):
             members = frozenset(members)
         if not members or members.isdisjoint(self._set):
             return self

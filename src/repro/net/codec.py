@@ -41,6 +41,7 @@ from repro.core import checkpoint as _checkpoint
 from repro.core import liveness as _liveness
 from repro.core import messages as _messages
 from repro.core import rounds as _rounds
+from repro.core import sessions as _sessions
 from repro.core.messages import ANY
 from repro.cstruct import commands as _commands
 from repro.cstruct import cset as _cset
@@ -112,6 +113,7 @@ for _module in (
     _liveness,
     _checkpoint,
     _rounds,
+    _sessions,
     _instances,
     _classic,
     _fast,

@@ -41,8 +41,12 @@ more messages (see ``docs/messages.md`` / ``docs/transport.md``):
 * ``CtlOrders`` / ``CtlOrdersReply`` -- order audit: a learner node
   replies with each local learner's delivered sequence, so the driver
   can assert all learners delivered the identical order;
-* ``CtlShutdown`` -- node exits cleanly (the ``lifetime`` deadline is the
-  backstop for orphaned nodes when a driver dies).
+* ``CtlShutdown`` -- node exits cleanly; a node whose learner has a
+  snapshot install in flight first *drains* it (polling every
+  ``DRAIN_POLL`` seconds, at most ``DRAIN_GRACE``), so a shutdown
+  racing a state transfer does not orphan a half-installed laggard.
+  The ``lifetime`` deadline is the backstop for orphaned nodes when a
+  driver dies.
 """
 
 from __future__ import annotations
@@ -63,6 +67,8 @@ from repro.net.transport import DEFAULT_MTU, AddressBook, NetRuntime
 from repro.smr.instances import InstancesConfig, make_instances_config
 
 HELLO_INTERVAL = 0.25
+DRAIN_POLL = 0.1
+DRAIN_GRACE = 5.0
 
 
 def control_pid(node: str) -> str:
@@ -126,6 +132,7 @@ class ControlAgent(Process):
         self.config = config
         self.driver = driver
         self.shutdown_requested = False
+        self._drain_deadline = 0.0
         self._hello_timer = self.set_periodic_timer(HELLO_INTERVAL, self._hello)
         self._hello()
 
@@ -152,6 +159,22 @@ class ControlAgent(Process):
         self.send(src, CtlOrdersReply(node=self.sim.node, orders=orders))
 
     def on_ctlshutdown(self, msg: CtlShutdown, src: Hashable) -> None:
+        self._drain_deadline = self.sim.clock + DRAIN_GRACE
+        self._drain()
+
+    def _installs_in_flight(self) -> bool:
+        """Any hosted learner mid-way through a snapshot install?"""
+        for role in self.roles.values():
+            installer = getattr(role, "_installer", None)
+            if installer is not None and installer.pending is not None:
+                return True
+        return False
+
+    def _drain(self) -> None:
+        """Poll until in-flight snapshot installs finish (grace-capped)."""
+        if self._installs_in_flight() and self.sim.clock < self._drain_deadline:
+            self.set_timer(DRAIN_POLL, self._drain)
+            return
         self.shutdown_requested = True
 
 

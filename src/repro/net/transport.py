@@ -17,8 +17,10 @@ Transport model (documented in ``docs/transport.md``):
   simulator's ``drop_rate``.
 * **TCP fallback** carries frames larger than ``mtu`` (snapshot chunks,
   large batches): a per-destination connection with 4-byte big-endian
-  length-prefixed framing, (re)established lazily and dropped on error
-  -- a failed connection loses the frame, it never blocks the node.
+  length-prefixed framing, (re)established lazily.  A connection error
+  keeps the frame and reconnects with exponential backoff under a
+  capped retry budget; only an exhausted budget loses the frame, and it
+  never blocks the node or other destinations.
 * A message between two pids hosted on the *same* node short-circuits
   the socket (scheduled on the loop, still asynchronous -- never a
   reentrant call), mirroring the simulator's reliable self-delivery.
@@ -126,11 +128,18 @@ class NetRuntime:
         mtu: int = DEFAULT_MTU,
         loss_rate: float = 0.0,
         codec_context: CodecContext | None = None,
+        tcp_retry_limit: int = 4,
+        tcp_backoff_base: float = 0.05,
+        tcp_backoff_cap: float = 1.0,
     ) -> None:
         self.node = node
         self.book = book
         self.mtu = mtu
         self.loss_rate = loss_rate
+        self.tcp_retry_limit = tcp_retry_limit
+        self.tcp_backoff_base = tcp_backoff_base
+        self.tcp_backoff_cap = tcp_backoff_cap
+        self.tcp_reconnects = 0
         self.rng = random.Random(seed)
         self.metrics = Metrics()
         self.processes: dict[Hashable, Any] = {}
@@ -191,6 +200,7 @@ class NetRuntime:
             self._loop.call_soon(self._guarded, lambda: self._deliver(src, dst, msg))
             return
         data = encode((str(src), str(dst), msg))
+        self.metrics.count_bytes(src, dst, msg, len(data))
         if len(data) <= self.mtu:
             self.frames_udp += 1
             assert self._udp is not None
@@ -315,25 +325,41 @@ class NetRuntime:
     async def _tcp_pump(self, node: str, queue: asyncio.Queue) -> None:
         """Drain one destination's oversized frames over a lazy connection.
 
-        Any connection error loses the frame in flight and resets the
-        connection -- fair-lossy semantics, healed by the engines'
-        retransmission layer like any dropped datagram.
+        A connection error keeps the frame and reconnects with
+        exponential backoff (``tcp_backoff_base`` doubling per attempt,
+        capped at ``tcp_backoff_cap`` seconds), retrying the same frame
+        at most ``tcp_retry_limit`` extra times.  Past that budget the
+        frame is dropped and the pump moves on -- a dead peer stalls
+        only its own queue, and only for the bounded backoff sum; the
+        loss is fair-lossy, healed by the engines' retransmission layer
+        like any dropped datagram.
         """
         writer: asyncio.StreamWriter | None = None
         try:
             while True:
                 data = await queue.get()
-                try:
-                    if writer is None:
-                        host, port = self.book.addr_of(node)
-                        _, writer = await asyncio.open_connection(host, port)
-                    writer.write(_LEN.pack(len(data)) + data)
-                    await writer.drain()
-                except OSError:
-                    if writer is not None:
-                        writer.close()
-                        writer = None
-                    self.metrics.on_drop()
+                for attempt in range(self.tcp_retry_limit + 1):
+                    try:
+                        if writer is None:
+                            host, port = self.book.addr_of(node)
+                            _, writer = await asyncio.open_connection(host, port)
+                        writer.write(_LEN.pack(len(data)) + data)
+                        await writer.drain()
+                        break
+                    except OSError:
+                        if writer is not None:
+                            writer.close()
+                            writer = None
+                        if attempt >= self.tcp_retry_limit:
+                            self.metrics.on_drop()
+                            break
+                        self.tcp_reconnects += 1
+                        await asyncio.sleep(
+                            min(
+                                self.tcp_backoff_base * (2**attempt),
+                                self.tcp_backoff_cap,
+                            )
+                        )
         finally:
             if writer is not None:
                 writer.close()

@@ -43,6 +43,13 @@ class Metrics:
     messages_dropped: int = 0
     commands_handled: Counter = field(default_factory=Counter)
     custom: Counter = field(default_factory=Counter)
+    #: optional ``msg -> int`` hook (e.g. the codec's encoded length);
+    #: when set, every send is also accounted in bytes per message type
+    #: and per directed link.  The net transport bypasses the hook and
+    #: reports real frame lengths via :meth:`count_bytes` directly.
+    sizer: Any = None
+    bytes_by_type: Counter = field(default_factory=Counter)
+    bytes_by_link: Counter = field(default_factory=Counter)
     _latency: dict[Hashable, LatencySample] = field(default_factory=dict)
     _learn_times: dict[Hashable, dict[Any, float]] = field(
         default_factory=lambda: defaultdict(dict)
@@ -53,6 +60,13 @@ class Metrics:
     def on_send(self, src: Any, dst: Any, msg: Any) -> None:
         self.messages_sent[src] += 1
         self.messages_by_type[type(msg).__name__] += 1
+        if self.sizer is not None:
+            self.count_bytes(src, dst, msg, self.sizer(msg))
+
+    def count_bytes(self, src: Any, dst: Any, msg: Any, size: int) -> None:
+        """Account *size* wire bytes for *msg* on the ``src -> dst`` link."""
+        self.bytes_by_type[type(msg).__name__] += size
+        self.bytes_by_link[(src, dst)] += size
 
     def on_deliver(self, dst: Any, msg: Any) -> None:
         self.messages_received[dst] += 1
@@ -63,6 +77,10 @@ class Metrics:
     @property
     def total_messages(self) -> int:
         return sum(self.messages_sent.values())
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(self.bytes_by_type.values())
 
     # -- per-command latency --------------------------------------------
 

@@ -25,22 +25,41 @@ class Client:
     command at most once even if it is decided in two instances.  It is
     the client-side backstop of the engine's own retransmission layer --
     useful when proposers may crash and lose even their stable storage.
+
+    With ``session`` set the client stamps every command it *creates*
+    (:meth:`make_command`) with a ``"<session>:<seq>"`` id in issue
+    order, opting in to the learners' bounded per-client dedup windows
+    (:class:`repro.core.sessions.SessionConfig`).  The window contract --
+    at most ``window`` commands in flight, sequences issued in order --
+    holds by construction: sequences are stamped from a monotone counter
+    and the pipelined client's ``window`` bounds in-flight commands.
     """
 
     name: str
     cluster: object  # any cluster exposing .propose(cmd, delay=...)
     retry_interval: float | None = None
     max_retries: int = 8
+    session: str | None = None
     issued: list[Command] = field(default_factory=list)
     completed: dict[Command, float] = field(default_factory=dict)
     issue_times: dict[Command, float] = field(default_factory=dict)
     retries: dict[Command, int] = field(default_factory=dict)
+    _next_seq: int = field(default=0)
 
     def __post_init__(self) -> None:
         if self.retry_interval is not None and self.retry_interval <= 0:
             raise ValueError("retry_interval must be positive")
         if self.max_retries < 0:
             raise ValueError("max_retries must be non-negative")
+
+    def make_command(self, op: str, key: str, arg=None) -> Command:
+        """A new command, session-stamped when this client has a session."""
+        if self.session is not None:
+            cid = f"{self.session}:{self._next_seq}"
+        else:
+            cid = f"{self.name}-{self._next_seq}"
+        self._next_seq += 1
+        return Command(cid, op, key, arg)
 
     def issue(self, cmd: Command, delay: float = 0.0) -> Command:
         """Propose *cmd* after *delay* simulated time units."""

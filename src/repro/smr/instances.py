@@ -186,6 +186,7 @@ from repro.core.checkpoint import (
     serve_snapshot,
 )
 from repro.core.liveness import FailureDetector, Heartbeat, LivenessConfig
+from repro.core.sessions import SessionConfig, SessionDedup
 from repro.core.quorums import QuorumSystem
 from repro.core.rounds import ZERO, RoundId, RoundSchedule
 from repro.core.runtime import Process, Runtime
@@ -379,8 +380,14 @@ class InstancesConfig:
     batching: BatchingConfig | None = None
     retransmit: RetransmitConfig | None = None
     checkpoint: CheckpointConfig | None = None
+    sessions: SessionConfig | None = None
 
     def __post_init__(self) -> None:
+        if self.sessions is not None and self.checkpoint is None:
+            # The session windows' dedup evidence rides the checkpoint --
+            # bounding dedup memory without a snapshot carrier would lose
+            # the at-most-once guarantee across install/recovery.
+            raise ValueError("sessions require checkpoint (the snapshot carrier)")
         if self.checkpoint is not None and self.retransmit is None:
             # Truncation makes the engine depend on the reliability
             # layer: once a vote journal is compacted, any missed message
@@ -1573,7 +1580,9 @@ class SMRLearner(Process):
         self.snapshot_installs = 0
         self.snapshot_chunks_sent = 0
         self.snap_frontier = 0  # our durable checkpoint covers [0, here)
-        self._delivered_set: set[Hashable] = set()
+        # At-most-once dedup: a bounded SessionDedup under SessionConfig,
+        # an exact (unbounded) set otherwise.
+        self._delivered_set = self._fresh_dedup()
         self._next_delivery = 0
         self._top_decided = -1  # highest decided instance (gap-scan bound)
         self._truncated_below = 0  # our decided log starts here
@@ -1602,6 +1611,18 @@ class SMRLearner(Process):
     def has_delivered(self, cmd: Hashable) -> bool:
         """O(1) membership test on the delivered sequence."""
         return cmd in self._delivered_set
+
+    def _fresh_dedup(self):
+        """An empty delivered-dedup: bounded sessions or plain set."""
+        if self.config.sessions is not None:
+            return SessionDedup(self.config.sessions.window)
+        return set()
+
+    def retained_dedup(self) -> int:
+        """Retained dedup cells (the sessions boundedness metric)."""
+        if isinstance(self._delivered_set, SessionDedup):
+            return self._delivered_set.retained()
+        return len(self._delivered_set)
 
     def on_i2b(self, msg: I2b, src: Hashable) -> None:
         if msg.instance < self._truncated_below:
@@ -1754,6 +1775,19 @@ class SMRLearner(Process):
         machine_state = (
             self._replica.snapshot_state() if self._replica is not None else None
         )
+        if self.config.sessions is not None:
+            # Bounded-memory checkpoint: the dedup evidence rides in its
+            # compact session form (packed into the machine field -- the
+            # snapshot chunker only carries delivered/machine/frontier)
+            # and the delivered tail is pruned to the window.
+            machine_state = (
+                "sessions1",
+                machine_state,
+                self._delivered_set.state(),
+            )
+            window = self.config.sessions.window
+            if len(self.delivered) > window:
+                del self.delivered[: len(self.delivered) - window]
         self.storage.write(
             "snapshot",
             {
@@ -1870,7 +1904,18 @@ class SMRLearner(Process):
         checkpoint's, so adoption replaces it wholesale.
         """
         self.delivered = list(delivered)
-        self._delivered_set = set(delivered)
+        if (
+            self.config.sessions is not None
+            and isinstance(machine_state, tuple)
+            and machine_state
+            and machine_state[0] == "sessions1"
+        ):
+            _tag, machine_state, sess_state = machine_state
+            self._delivered_set = SessionDedup.restore(
+                sess_state, self.config.sessions.window
+            )
+        else:
+            self._delivered_set = set(delivered)
         self._next_delivery = frontier
         self._top_decided = max(self._top_decided, frontier - 1)
         self._truncate_log(frontier)
@@ -1890,7 +1935,7 @@ class SMRLearner(Process):
             return
         self.decided = {}
         self.delivered = []
-        self._delivered_set = set()
+        self._delivered_set = self._fresh_dedup()
         self._next_delivery = 0
         self._top_decided = -1
         self._truncated_below = 0
@@ -2050,6 +2095,7 @@ def make_instances_config(
     batching: BatchingConfig | None = None,
     retransmit: RetransmitConfig | None = None,
     checkpoint: CheckpointConfig | None = None,
+    sessions: SessionConfig | None = None,
 ) -> InstancesConfig:
     """The deployment-independent engine config for a cluster shape.
 
@@ -2071,6 +2117,7 @@ def make_instances_config(
         batching=batching,
         retransmit=retransmit,
         checkpoint=checkpoint,
+        sessions=sessions,
     )
 
 
@@ -2086,6 +2133,7 @@ def build_smr(
     batching: BatchingConfig | None = None,
     retransmit: RetransmitConfig | None = None,
     checkpoint: CheckpointConfig | None = None,
+    sessions: SessionConfig | None = None,
 ) -> SMRCluster:
     """Deploy a multicoordinated MultiPaxos replication group on *sim*."""
     config = make_instances_config(
@@ -2099,6 +2147,7 @@ def build_smr(
         batching=batching,
         retransmit=retransmit,
         checkpoint=checkpoint,
+        sessions=sessions,
     )
     topology = config.topology
     return SMRCluster(

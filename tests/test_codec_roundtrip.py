@@ -27,9 +27,13 @@ from repro.core.messages import (
     Phase1a,
     Phase1b,
     Phase2a,
+    Phase2aDelta,
     Phase2b,
+    Phase2bDelta,
     Propose,
     ProposeBatch,
+    ResyncRequest,
+    VoteStamp,
 )
 from repro.core.checkpoint import (
     ICheckpoint,
@@ -95,8 +99,13 @@ MESSAGE_SAMPLES = {
     "Phase2b": Phase2b(RND, CMD, "a1", fresh=(CMD, CMD2)),
     "Nack": Nack(RND, HIGHER, "a2"),
     "Learned": Learned((CMD,), "l0"),
-    "CatchUp": CatchUp(seen=7),
+    "CatchUp": CatchUp(seen=7, rnd=RND, size=7, digest=0x1F2F3F4F5F6F7F),
     "Heartbeat": Heartbeat(sender=1),
+    # delta wire protocol
+    "Phase2aDelta": Phase2aDelta(RND, 3, 0xA1B2C3, (CMD, CMD2), 1),
+    "Phase2bDelta": Phase2bDelta(RND, 3, 0xA1B2C3, (CMD,), "a1"),
+    "VoteStamp": VoteStamp(RND, 5, 0xD4E5F6, "a2"),
+    "ResyncRequest": ResyncRequest(RND, 3),
     # shared checkpoint / state transfer
     "ICheckpoint": ICheckpoint(12, frozenset({"learn0", "learn1"})),
     "ITruncated": ITruncated(5),
