@@ -1584,19 +1584,10 @@ def experiment_e15_net(
 async def _e15_net_run(label: str, n_commands: int, use_delta: bool, seed: int) -> Row:
     import asyncio
 
-    from repro.core.generalized import (
-        DeltaConfig,
-        GenAcceptor,
-        GenCoordinator,
-        GeneralizedConfig,
-        GenLearner,
-        GenProposer,
-    )
+    from repro.core.generalized import DeltaConfig, GeneralizedConfig
     from repro.core.quorums import QuorumSystem as _QS
     from repro.core.topology import Topology
-    from repro.net.cluster import wall_clock_retransmit
-    from repro.net.codec import CodecContext
-    from repro.net.transport import NetRuntime, loopback_book
+    from repro.net.cluster import GeneralizedLoopbackDeployment, wall_clock_retransmit
 
     topology = Topology.build(1, 2, 3, 2)
     schedule = RoundSchedule(range(2), recovery_rtype=1)
@@ -1608,61 +1599,20 @@ async def _e15_net_run(label: str, n_commands: int, use_delta: bool, seed: int) 
         retransmit=wall_clock_retransmit(),
         delta=DeltaConfig() if use_delta else None,
     )
-    pids = (
-        list(topology.proposers)
-        + list(topology.coordinators)
-        + list(topology.acceptors)
-        + list(topology.learners)
-    )
-    book = loopback_book(sorted(pids))
-    book.placement.update({pid: pid for pid in pids})
-    runtimes = {
-        pid: NetRuntime(
-            pid,
-            book,
-            seed=seed + i,
-            codec_context=CodecContext(kv_conflict()),
-        )
-        for i, pid in enumerate(sorted(pids))
-    }
-    for runtime in runtimes.values():
-        await runtime.start()
-    roles: dict[str, object] = {}
-    for pid in topology.proposers:
-        roles[pid] = GenProposer(pid, runtimes[pid], config)
-    for index, pid in enumerate(topology.coordinators):
-        roles[pid] = GenCoordinator(pid, runtimes[pid], config, index)
-    for pid in topology.acceptors:
-        roles[pid] = GenAcceptor(pid, runtimes[pid], config)
-    learners = [GenLearner(pid, runtimes[pid], config) for pid in topology.learners]
-    for learner in learners:
-        roles[learner.pid] = learner
-
-    coord0 = topology.coordinators[0]
-    rnd = schedule.make_round(0, 1, 2)
-    runtimes[coord0].schedule(0.0, lambda: roles[coord0].start_round(rnd))
+    deployment = GeneralizedLoopbackDeployment(config, seed=seed)
+    await deployment.start()
     commands = [Command(f"net:{i}", "put", "k0", i) for i in range(n_commands)]
-    proposer = roles[topology.proposers[0]]
     for i, cmd in enumerate(commands):
-        runtimes[proposer.pid].schedule(
-            0.3 + i * 0.02, lambda cmd=cmd: proposer.propose(cmd)
-        )
+        deployment.cluster.propose(cmd, delay=0.3 + i * 0.02)
 
-    driver = runtimes[coord0]
-    completed = await driver.wait_until(
-        lambda: all(
-            all(l.has_learned(cmd) for cmd in commands) for l in learners
-        ),
-        timeout=30.0,
-    )
-    idle_start = sum(r.metrics.total_bytes for r in runtimes.values())
-    t0 = driver.clock
+    completed = await deployment.run_until_learned(commands, timeout=30.0)
+    idle_start = deployment.total_wire_bytes()
+    t0 = deployment.driver.clock
     await asyncio.sleep(2.0)
-    idle_span = driver.clock - t0
-    total = sum(r.metrics.total_bytes for r in runtimes.values())
-    orders = _e15_conflicting_orders(learners, commands, "k0")
-    for runtime in runtimes.values():
-        await runtime.stop()
+    idle_span = deployment.driver.clock - t0
+    total = deployment.total_wire_bytes()
+    orders = _e15_conflicting_orders(deployment.learners, commands, "k0")
+    await deployment.stop()
     return {
         "mode": label,
         "commands": n_commands,
@@ -1671,6 +1621,172 @@ async def _e15_net_run(label: str, n_commands: int, use_delta: bool, seed: int) 
         "wire KB": round(total / 1e3, 1),
         "idle B / s": round((total - idle_start) / idle_span),
     }
+
+
+# ---------------------------------------------------------------------------
+# E16 -- sharded multi-group consensus: throughput scaling (repro.shard)
+# ---------------------------------------------------------------------------
+
+
+def _e16_group_keys(shard_map, gid: int, count: int, prefix: str = "k") -> list[str]:
+    """The first *count* ``<prefix><i>`` keys hashing to group *gid*.
+
+    Key placement is the deterministic blake2b hash, so workload keys
+    must be *searched*, not assumed: ``k0..k3`` may all land in one
+    group.  The search is deterministic and cheap (expected
+    ``count * n_groups`` probes).
+    """
+    keys: list[str] = []
+    i = 0
+    while len(keys) < count:
+        key = f"{prefix}{i}"
+        if shard_map.group_of_key(key) == gid:
+            keys.append(key)
+        i += 1
+    return keys
+
+
+def _e16_run(
+    n_groups: int,
+    clients_per_group: int,
+    cmds_per_client: int,
+    cross_fraction: float = 0.0,
+    seed: int = 41,
+) -> Row:
+    """One closed-loop sharded run; aggregate throughput in virtual time.
+
+    *clients_per_group* pipelined clients drive each group on keys owned
+    by that group (weak scaling: per-group load is constant, aggregate
+    load grows with the group count).  With *cross_fraction* > 0 a
+    dedicated cross client issues that fraction (of the single-shard
+    total) as two-key commands spanning adjacent groups, exercising the
+    merge group + barrier path under the same load.
+    """
+    from repro.shard import ShardedDeployment
+    from repro.smr.client import PipelinedClient
+    from repro.smr.instances import BatchingConfig
+
+    sim = Simulation(seed=seed, max_events=30_000_000)
+    deployment = ShardedDeployment.build(
+        sim,
+        n_groups,
+        batching=BatchingConfig(max_batch=4, flush_interval=1.0, pipeline_depth=4),
+    )
+    deployment.start()
+    sim.run(until=5.0)  # bootstrap rounds settle before load
+
+    all_cmds: list[Command] = []
+    clients: list[PipelinedClient] = []
+    for gid in range(n_groups):
+        keys = _e16_group_keys(deployment.shard_map, gid, 4)
+        for c in range(clients_per_group):
+            client = PipelinedClient(
+                f"c{gid}.{c}", deployment.router, window=8
+            )
+            client.watch_replica(deployment.replicas[gid][0])
+            cmds = [
+                client.make_command("put", keys[i % len(keys)], i)
+                for i in range(cmds_per_client)
+            ]
+            all_cmds.extend(cmds)
+            client.submit(cmds)
+            clients.append(client)
+
+    n_cross = round(cross_fraction * len(all_cmds))
+    if n_cross:
+        cross = PipelinedClient("cx", deployment.router, window=4)
+        for gid in range(n_groups):
+            cross.watch_replica(deployment.replicas[gid][0])
+        cross_keys = [
+            _e16_group_keys(deployment.shard_map, gid, 1, prefix="x")[0]
+            for gid in range(n_groups)
+        ]
+        cmds = [
+            cross.make_command(
+                "put",
+                f"{cross_keys[i % n_groups]}|{cross_keys[(i + 1) % n_groups]}",
+                i,
+            )
+            for i in range(n_cross)
+        ]
+        all_cmds.extend(cmds)
+        cross.submit(cmds)
+        clients.append(cross)
+
+    start = sim.clock
+    completed = deployment.run_until_executed(
+        all_cmds, timeout=2_000.0 * max(1, cmds_per_client)
+    )
+    span = sim.clock - start
+    return {
+        "groups": n_groups,
+        "clients": len(clients),
+        "commands": len(all_cmds),
+        "cross": n_cross,
+        "completed": completed and all(c.all_completed() for c in clients),
+        "divergent keys": len(deployment.divergent_keys()),
+        "barriers": deployment.router.next_barrier,
+        "span": round(span, 1),
+        "throughput / ktime": round(1000.0 * len(all_cmds) / span, 1),
+    }
+
+
+def experiment_e16(
+    groups_grid: tuple[int, ...] = (1, 2, 4),
+    clients_per_group: int = 3,
+    cmds_per_client: int = 40,
+    seed: int = 41,
+) -> list[Row]:
+    """Aggregate throughput vs group count on a disjoint-key workload.
+
+    The tentpole scaling claim: groups share no keys and no roles, so
+    each group's coordinator pipeline -- the single-group bottleneck --
+    is replicated N times and aggregate throughput scales near-linearly
+    (``benchmarks/bench_e16_shard.py`` asserts >= 3x at 4 groups, and
+    the CI quick mode >= 1.8x).  Weak scaling: per-group load is held
+    constant while the group count grows.
+    """
+    rows: list[Row] = []
+    for n_groups in groups_grid:
+        rows.append(
+            _e16_run(n_groups, clients_per_group, cmds_per_client, seed=seed)
+        )
+    base = rows[0]["throughput / ktime"]
+    for row in rows:
+        row["speedup vs 1 group"] = round(row["throughput / ktime"] / base, 2)
+    return rows
+
+
+def experiment_e16_cross(
+    fractions: tuple[float, ...] = (0.0, 0.01, 0.10),
+    n_groups: int = 4,
+    clients_per_group: int = 3,
+    cmds_per_client: int = 40,
+    seed: int = 43,
+) -> list[Row]:
+    """Throughput vs cross-shard fraction at a fixed group count.
+
+    Cross-shard commands cost a merge-group decision plus a barrier
+    placeholder in every owning group, and replicas stall their local
+    log at the barrier until the merge order arrives -- so throughput
+    degrades gracefully with the cross fraction instead of collapsing.
+    Every row must finish with zero per-key divergence across replicas.
+    """
+    rows: list[Row] = []
+    for fraction in fractions:
+        row = _e16_run(
+            n_groups,
+            clients_per_group,
+            cmds_per_client,
+            cross_fraction=fraction,
+            seed=seed,
+        )
+        row["cross %"] = round(100.0 * fraction, 1)
+        rows.append(row)
+    base = rows[0]["throughput / ktime"]
+    for row in rows:
+        row["throughput vs 0%"] = round(row["throughput / ktime"] / base, 2)
+    return rows
 
 
 ALL_EXPERIMENTS: dict[str, Callable[[], list[Row]]] = {
@@ -1693,4 +1809,6 @@ ALL_EXPERIMENTS: dict[str, Callable[[], list[Row]]] = {
     "E15 delta wire protocol": experiment_e15,
     "E15 sessions (bounded dedup)": experiment_e15_sessions,
     "E15 delta on real sockets": experiment_e15_net,
+    "E16 sharded throughput": experiment_e16,
+    "E16 cross-shard fraction": experiment_e16_cross,
 }

@@ -277,6 +277,17 @@ class CommandHistory(CStruct):
         """``⊥ • ⟨cmds⟩``."""
         return cls.bottom(conflict).extend(cmds)
 
+    def predecessors(self, cmd: Command) -> frozenset:
+        """The conflicting commands ordered before *cmd* (∅ if absent).
+
+        This is the constraint digraph's in-edge set -- final once *cmd*
+        is in a learned history: histories only grow compatibly, and
+        compatible histories agree on the predecessor set of every shared
+        command, so any consumer (e.g. the shard layer's cross-group
+        barrier execution) may act on it without waiting for more.
+        """
+        return self._preds.get(cmd, frozenset())
+
     def append(self, cmd: Command) -> "CommandHistory":
         """``self • cmd``: add *cmd* after every conflicting existing command.
 

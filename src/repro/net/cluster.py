@@ -20,6 +20,15 @@ story for the :class:`~repro.net.transport.NetRuntime` backend:
   subprocess deployment (real OS processes) lives in
   :mod:`repro.net.node` and ``examples/cluster_launcher.py``.
 
+The same plan exists for the *generalized* engine
+(:mod:`repro.core.generalized`): :func:`generalized_node_plan`,
+:func:`deploy_generalized_roles`, :class:`GenNetCluster` (completion via
+the learners' ``Learned`` progress reports, which retransmission already
+broadcasts to the driver-hosted proposers) and
+:class:`GeneralizedLoopbackDeployment` -- promoted here from E15c's
+hand-built benchmark deployment.  The sharded net deployment
+(:mod:`repro.shard.net`) composes both plans on one address book.
+
 Wall-clock tuning: the engines' reliability timers default to simulator
 time scales (seconds that cost nothing).  :func:`wall_clock_retransmit`
 / :func:`wall_clock_checkpoint` provide sub-second periods so a lossy
@@ -31,8 +40,17 @@ from __future__ import annotations
 from typing import Any, Hashable, Iterable
 
 from repro.core.checkpoint import CheckpointConfig, RetransmitConfig
+from repro.core.generalized import (
+    GenAcceptor,
+    GenCoordinator,
+    GeneralizedConfig,
+    GenLearner,
+    GenProposer,
+)
 from repro.core.liveness import LivenessConfig
+from repro.core.messages import Learned
 from repro.core.rounds import RoundId
+from repro.net.codec import CodecContext
 from repro.net.transport import DEFAULT_MTU, AddressBook, NetRuntime, loopback_book
 from repro.smr.instances import (
     Batch,
@@ -132,8 +150,12 @@ def deploy_roles(runtime: NetRuntime, config: InstancesConfig) -> dict[str, Any]
     return local
 
 
-def bootstrap_round(config: InstancesConfig) -> RoundId:
-    """The multicoordinated round a fresh cluster starts with."""
+def bootstrap_round(config) -> RoundId:
+    """The multicoordinated round a fresh cluster starts with.
+
+    Works for both engine configs (``InstancesConfig`` /
+    ``GeneralizedConfig``): only the round schedule is consulted.
+    """
     return config.schedule.make_round(coord=0, count=1, rtype=2)
 
 
@@ -288,6 +310,212 @@ class LoopbackDeployment:
         return await self.driver.wait_until(
             lambda: self.everyone_delivered(cmds), timeout=timeout
         )
+
+    def errors(self) -> list[BaseException]:
+        return [err for runtime in self.runtimes.values() for err in runtime.errors]
+
+
+# -- generalized engine deployment -------------------------------------------
+
+
+def generalized_node_plan(config: GeneralizedConfig) -> dict[str, str]:
+    """pid -> node for a generalized-engine deployment.
+
+    Same canonical shape as :func:`node_plan`: proposers front for the
+    client on the driver node, every other role on its own node.
+    """
+    topology = config.topology
+    placement = {pid: DRIVER_NODE for pid in topology.proposers}
+    for pid in (*topology.coordinators, *topology.acceptors, *topology.learners):
+        placement[pid] = pid
+    return placement
+
+
+def deploy_generalized_roles(
+    runtime: NetRuntime, config: GeneralizedConfig
+) -> dict[str, Any]:
+    """Instantiate on *runtime* the generalized roles placed on its node."""
+    topology = config.topology
+    local = {}
+
+    def hosted(pid: str) -> bool:
+        return runtime.book.node_of(pid) == runtime.node
+
+    for pid in topology.proposers:
+        if hosted(pid):
+            local[pid] = GenProposer(pid, runtime, config)
+    for index, pid in enumerate(topology.coordinators):
+        if hosted(pid):
+            local[pid] = GenCoordinator(pid, runtime, config, index)
+    for pid in topology.acceptors:
+        if hosted(pid):
+            local[pid] = GenAcceptor(pid, runtime, config)
+    for pid in topology.learners:
+        if hosted(pid):
+            local[pid] = GenLearner(pid, runtime, config)
+    return local
+
+
+def codec_context_for(config: GeneralizedConfig) -> CodecContext:
+    """The codec context a generalized deployment's nodes must share.
+
+    ``CommandHistory`` payloads travel as linear extensions and are
+    rebuilt receiver-side against the deployment's conflict relation, so
+    every runtime decodes with the relation of the config's bottom.
+    """
+    return CodecContext(config.bottom.conflict)
+
+
+class GenNetCluster:
+    """Driver-side generalized cluster handle over a :class:`NetRuntime`.
+
+    The ``sim``/``propose``/``flush`` surface of
+    :class:`repro.core.generalized.GeneralizedCluster`, plus completion
+    observation: with retransmission on, learners broadcast their
+    ``Learned`` progress reports to the proposers -- which live here --
+    so a delivery tap sees every (learner, command) pair without extra
+    protocol.
+    """
+
+    def __init__(self, runtime: NetRuntime, config: GeneralizedConfig) -> None:
+        self.sim = runtime
+        self.config = config
+        self.proposers = [
+            GenProposer(pid, runtime, config)
+            for pid in config.topology.proposers
+            if runtime.book.node_of(pid) == runtime.node
+        ]
+        if not self.proposers:
+            raise ValueError(f"no proposer placed on driver node {runtime.node!r}")
+        self._proposal_index = 0
+        self._clients: list[Any] = []
+        self.learned_by: dict[Hashable, set[Hashable]] = {}
+        runtime.add_delivery_tap(self._tap)
+
+    def propose(self, cmd: Hashable, delay: float = 0.0, proposer: int | None = None) -> None:
+        if proposer is None:
+            proposer = self._proposal_index % len(self.proposers)
+            self._proposal_index += 1
+        agent = self.proposers[proposer]
+        self.sim.schedule(delay, lambda: agent.propose(cmd))
+
+    def flush(self) -> None:
+        for proposer in self.proposers:
+            proposer.flush()
+
+    def attach_client(self, client: Any) -> None:
+        """Complete *client*'s commands when any learner reports them."""
+        self._clients.append(client)
+
+    def learner_count(self, cmd: Hashable) -> int:
+        """Distinct learners that reported learning *cmd*."""
+        return len(self.learned_by.get(cmd, ()))
+
+    def all_learned(self, cmds: Iterable[Hashable], by: int | None = None) -> bool:
+        """Every command reported by *by* learners (default: all)."""
+        need = len(self.config.topology.learners) if by is None else by
+        return all(self.learner_count(cmd) >= need for cmd in cmds)
+
+    def _tap(self, src: Hashable, dst: Hashable, msg: Any) -> None:
+        if not isinstance(msg, Learned):
+            return
+        for cmd in msg.cmds:
+            self.learned_by.setdefault(cmd, set()).add(msg.learner)
+            for client in self._clients:
+                client._note_complete(cmd)
+
+
+class GeneralizedLoopbackDeployment:
+    """A generalized-engine cluster on loopback sockets, one OS process.
+
+    The generalized twin of :class:`LoopbackDeployment` -- promoted from
+    the E15c benchmark's hand-built deployment: one runtime per node,
+    every message through the codec and a real UDP/TCP socket, with the
+    shared :func:`codec_context_for` so ``CommandHistory`` payloads
+    rebuild against the right conflict relation on every node.
+    """
+
+    def __init__(
+        self,
+        config: GeneralizedConfig,
+        seed: int = 0,
+        loss_rate: float = 0.0,
+        mtu: int = DEFAULT_MTU,
+    ) -> None:
+        self.config = config
+        placement = generalized_node_plan(config)
+        book: AddressBook = loopback_book(sorted({*placement.values(), DRIVER_NODE}))
+        book.placement.update(placement)
+        self.book = book
+        context = codec_context_for(config)
+        self.runtimes: dict[str, NetRuntime] = {
+            node: NetRuntime(
+                node,
+                book,
+                seed=seed + index,
+                loss_rate=loss_rate,
+                mtu=mtu,
+                codec_context=context,
+            )
+            for index, node in enumerate(sorted(book.nodes))
+        }
+        self.roles: dict[str, Any] = {}
+        self.cluster: GenNetCluster | None = None
+
+    @property
+    def driver(self) -> NetRuntime:
+        return self.runtimes[DRIVER_NODE]
+
+    async def start(self, start_round: bool = True) -> "GeneralizedLoopbackDeployment":
+        for runtime in self.runtimes.values():
+            await runtime.start()
+        for node, runtime in self.runtimes.items():
+            if node != DRIVER_NODE:
+                self.roles.update(deploy_generalized_roles(runtime, self.config))
+        self.cluster = GenNetCluster(self.driver, self.config)
+        for proposer in self.cluster.proposers:
+            self.roles[proposer.pid] = proposer
+        if start_round:
+            self.start_round(bootstrap_round(self.config))
+        return self
+
+    async def stop(self) -> None:
+        for runtime in self.runtimes.values():
+            await runtime.stop()
+
+    def start_round(self, rnd: RoundId) -> None:
+        pid = self.config.topology.coordinators[rnd.coord]
+        coordinator = self.roles[pid]
+        self.runtime_of(pid).schedule(0.0, lambda: coordinator.start_round(rnd))
+
+    def runtime_of(self, pid: str) -> NetRuntime:
+        return self.runtimes[self.book.node_of(pid)]
+
+    def crash(self, pid: str) -> None:
+        self.runtime_of(pid).crash(pid)
+
+    def recover(self, pid: str) -> None:
+        self.runtime_of(pid).recover(pid)
+
+    @property
+    def learners(self) -> list[GenLearner]:
+        return [self.roles[pid] for pid in self.config.topology.learners]
+
+    def everyone_learned(self, cmds: Iterable[Hashable]) -> bool:
+        cmds = list(cmds)
+        return all(
+            all(learner.has_learned(cmd) for cmd in cmds)
+            for learner in self.learners
+        )
+
+    async def run_until_learned(self, cmds: Iterable[Hashable], timeout: float = 30.0) -> bool:
+        cmds = list(cmds)
+        return await self.driver.wait_until(
+            lambda: self.everyone_learned(cmds), timeout=timeout
+        )
+
+    def total_wire_bytes(self) -> int:
+        return sum(r.metrics.total_bytes for r in self.runtimes.values())
 
     def errors(self) -> list[BaseException]:
         return [err for runtime in self.runtimes.values() for err in runtime.errors]

@@ -1,0 +1,293 @@
+"""Sharded simulator deployment: N instance-engine groups + merge group.
+
+``ShardedDeployment`` stamps out N independent multicoordinated
+MultiPaxos groups (the total-order engine of :mod:`repro.smr.instances`,
+role classes unchanged) plus one generalized merge group
+(:mod:`repro.core.generalized`) for cross-shard commands, wires a
+:class:`~repro.shard.replica.ShardReplica` per (group, site) and fronts
+it all with a :class:`~repro.shard.router.ShardRouter`.
+
+Every group gets its own prefixed pid namespace (``g0.acc1``,
+``xs.coord0``...) so all groups coexist in one runtime -- the same
+naming the net deployment uses for per-process placement.
+
+Groups run without checkpointing here: a sharded replica's durable
+state spans two learners (its group's log and the merge history), and
+the single-learner snapshot carrier cannot capture that pair
+atomically.  Bounded-memory sharded groups are follow-up work.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.generalized import (
+    GenAcceptor,
+    GenBatchingConfig,
+    GenCoordinator,
+    GeneralizedCluster,
+    GeneralizedConfig,
+    GenLearner,
+    GenProposer,
+)
+from repro.core.checkpoint import RetransmitConfig
+from repro.core.liveness import LivenessConfig
+from repro.core.quorums import QuorumSystem
+from repro.core.rounds import RoundSchedule
+from repro.core.runtime import Runtime
+from repro.core.topology import Topology
+from repro.cstruct.history import CommandHistory
+from repro.cstruct.sharding import ShardKeyConflict, ShardMap
+from repro.shard.replica import ShardReplica
+from repro.shard.router import ShardRouter
+from repro.smr.instances import (
+    BatchingConfig,
+    InstancesConfig,
+    SMRAcceptor,
+    SMRCluster,
+    SMRCoordinator,
+    SMRLearner,
+    SMRProposer,
+)
+
+#: Pid prefix of the merge group.
+MERGE_PREFIX = "xs"
+
+
+def shard_topology(
+    prefix: str,
+    n_proposers: int,
+    n_coordinators: int,
+    n_acceptors: int,
+    n_learners: int,
+) -> Topology:
+    """A :class:`Topology` whose pids live under ``<prefix>.``."""
+    return Topology(
+        proposers=tuple(f"{prefix}.prop{i}" for i in range(n_proposers)),
+        coordinators=tuple(f"{prefix}.coord{i}" for i in range(n_coordinators)),
+        acceptors=tuple(f"{prefix}.acc{i}" for i in range(n_acceptors)),
+        learners=tuple(f"{prefix}.learn{i}" for i in range(n_learners)),
+    )
+
+
+def make_group_config(
+    prefix: str,
+    n_proposers: int = 1,
+    n_coordinators: int = 2,
+    n_acceptors: int = 3,
+    n_learners: int = 2,
+    batching: BatchingConfig | None = None,
+    retransmit: RetransmitConfig | None = None,
+    liveness: LivenessConfig | None = None,
+    f: int | None = None,
+) -> InstancesConfig:
+    """One shard group's instances-engine config under *prefix*."""
+    topology = shard_topology(
+        prefix, n_proposers, n_coordinators, n_acceptors, n_learners
+    )
+    return InstancesConfig(
+        topology=topology,
+        quorums=QuorumSystem(topology.acceptors, f=f),
+        schedule=RoundSchedule(range(n_coordinators), recovery_rtype=1),
+        liveness=liveness,
+        batching=batching,
+        retransmit=retransmit,
+    )
+
+
+def make_merge_config(
+    prefix: str = MERGE_PREFIX,
+    n_proposers: int = 1,
+    n_coordinators: int = 2,
+    n_acceptors: int = 3,
+    n_learners: int = 2,
+    conflict: ShardKeyConflict | None = None,
+    batching: GenBatchingConfig | None = None,
+    retransmit: RetransmitConfig | None = None,
+    liveness: LivenessConfig | None = None,
+    f: int | None = None,
+    e: int | None = None,
+) -> GeneralizedConfig:
+    """The merge group's generalized-engine config under *prefix*.
+
+    The bottom c-struct carries :class:`ShardKeyConflict` -- key-set
+    conflicts -- so the merge history's constraint digraph is exactly
+    the per-key ordering obligations the owning groups must splice.
+    """
+    topology = shard_topology(
+        prefix, n_proposers, n_coordinators, n_acceptors, n_learners
+    )
+    if conflict is None:
+        conflict = ShardKeyConflict(read_ops=frozenset({"get"}))
+    return GeneralizedConfig(
+        topology=topology,
+        quorums=QuorumSystem(topology.acceptors, f=f, e=e),
+        schedule=RoundSchedule(range(n_coordinators), recovery_rtype=1),
+        bottom=CommandHistory.bottom(conflict),
+        liveness=liveness,
+        batching=batching,
+        retransmit=retransmit,
+    )
+
+
+def _build_group(sim: Runtime, config: InstancesConfig) -> SMRCluster:
+    topology = config.topology
+    return SMRCluster(
+        sim=sim,
+        config=config,
+        proposers=[SMRProposer(pid, sim, config) for pid in topology.proposers],
+        coordinators=[
+            SMRCoordinator(pid, sim, config, index)
+            for index, pid in enumerate(topology.coordinators)
+        ],
+        acceptors=[SMRAcceptor(pid, sim, config) for pid in topology.acceptors],
+        learners=[SMRLearner(pid, sim, config) for pid in topology.learners],
+    )
+
+
+def _build_merge(sim: Runtime, config: GeneralizedConfig) -> GeneralizedCluster:
+    topology = config.topology
+    return GeneralizedCluster(
+        sim=sim,
+        config=config,
+        proposers=[GenProposer(pid, sim, config) for pid in topology.proposers],
+        coordinators=[
+            GenCoordinator(pid, sim, config, index)
+            for index, pid in enumerate(topology.coordinators)
+        ],
+        acceptors=[GenAcceptor(pid, sim, config) for pid in topology.acceptors],
+        learners=[GenLearner(pid, sim, config) for pid in topology.learners],
+    )
+
+
+@dataclass
+class ShardedDeployment:
+    """N engine groups + merge group + replicas + router, on one sim."""
+
+    sim: Runtime
+    shard_map: ShardMap
+    group_configs: list[InstancesConfig]
+    merge_config: GeneralizedConfig
+    groups: list[SMRCluster]
+    merge: GeneralizedCluster
+    replicas: list[list[ShardReplica]]  # [group][site]
+    router: ShardRouter = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.router = ShardRouter(self.sim, self.shard_map, self.groups, self.merge)
+
+    @classmethod
+    def build(
+        cls,
+        sim: Runtime,
+        n_groups: int,
+        n_proposers: int = 1,
+        n_coordinators: int = 2,
+        n_acceptors: int = 3,
+        n_learners: int = 2,
+        batching: BatchingConfig | None = None,
+        merge_batching: GenBatchingConfig | None = None,
+        retransmit: RetransmitConfig | None = None,
+        liveness: LivenessConfig | None = None,
+        machine_factory=None,
+    ) -> "ShardedDeployment":
+        shard_map = ShardMap(n_groups)
+        group_configs = [
+            make_group_config(
+                f"g{gid}",
+                n_proposers=n_proposers,
+                n_coordinators=n_coordinators,
+                n_acceptors=n_acceptors,
+                n_learners=n_learners,
+                batching=batching,
+                retransmit=retransmit,
+                liveness=liveness,
+            )
+            for gid in range(n_groups)
+        ]
+        merge_config = make_merge_config(
+            n_proposers=n_proposers,
+            n_coordinators=n_coordinators,
+            n_acceptors=n_acceptors,
+            n_learners=n_learners,
+            batching=merge_batching,
+            retransmit=retransmit,
+            liveness=liveness,
+        )
+        groups = [_build_group(sim, config) for config in group_configs]
+        merge = _build_merge(sim, merge_config)
+        replicas = [
+            [
+                ShardReplica(
+                    gid,
+                    shard_map,
+                    group.learners[site],
+                    merge.learners[site],
+                    machine=machine_factory() if machine_factory else None,
+                )
+                for site in range(n_learners)
+            ]
+            for gid, group in enumerate(groups)
+        ]
+        return cls(
+            sim=sim,
+            shard_map=shard_map,
+            group_configs=group_configs,
+            merge_config=merge_config,
+            groups=groups,
+            merge=merge,
+            replicas=replicas,
+        )
+
+    def start(self, delay: float = 0.0) -> "ShardedDeployment":
+        """Bootstrap a multicoordinated round in every group."""
+        for group in self.groups:
+            rnd = group.config.schedule.make_round(coord=0, count=1, rtype=2)
+            group.start_round(rnd, delay=delay)
+        rnd = self.merge.config.schedule.make_round(coord=0, count=1, rtype=2)
+        self.merge.start_round(rnd, delay=delay)
+        return self
+
+    # -- driving -------------------------------------------------------------
+
+    def everyone_executed(self, cmds) -> bool:
+        for cmd in cmds:
+            groups = self.shard_map.groups_of(cmd) or (0,)
+            for gid in groups:
+                if not all(r.has_executed(cmd) for r in self.replicas[gid]):
+                    return False
+        return True
+
+    def run_until_executed(self, cmds, timeout: float = 20_000.0) -> bool:
+        cmds = list(cmds)
+        return self.sim.run_until(
+            lambda: self.everyone_executed(cmds), timeout=timeout
+        )
+
+    # -- invariants ----------------------------------------------------------
+
+    def divergent_keys(self) -> list[tuple[int, str]]:
+        """(group, key) pairs whose replicas disagree on the key's order.
+
+        The sharded correctness invariant: must be empty after any run.
+        """
+        out: list[tuple[int, str]] = []
+        for gid, replicas in enumerate(self.replicas):
+            keys = sorted({k for r in replicas for k in r.key_orders})
+            for key in keys:
+                orders = {tuple(r.key_orders.get(key, ())) for r in replicas}
+                if len(orders) > 1:
+                    out.append((gid, key))
+        return out
+
+    def key_order(self, key: str) -> tuple[str, ...]:
+        """The agreed cid order on *key* (first replica of its group)."""
+        gid = self.shard_map.group_of_key(key)
+        return tuple(self.replicas[gid][0].key_orders.get(key, ()))
+
+    def crash_group(self, gid: int, role: str, index: int = 0) -> str:
+        """Crash one role process of group *gid*; returns its pid."""
+        config = self.group_configs[gid]
+        pid = getattr(config.topology, role)[index]
+        self.sim.crash(pid)
+        return pid

@@ -43,6 +43,9 @@ class Metrics:
     messages_dropped: int = 0
     commands_handled: Counter = field(default_factory=Counter)
     custom: Counter = field(default_factory=Counter)
+    #: sharded routing: commands dispatched per engine group ("g0"...,
+    #: "xs" for the cross-shard merge group).
+    commands_by_group: Counter = field(default_factory=Counter)
     #: optional ``msg -> int`` hook (e.g. the codec's encoded length);
     #: when set, every send is also accounted in bytes per message type
     #: and per directed link.  The net transport bypasses the hook and
@@ -129,6 +132,12 @@ class Metrics:
     def learn_time(self, command: Hashable) -> float | None:
         sample = self._latency.get(command)
         return sample.learned_at if sample else None
+
+    # -- sharded routing -------------------------------------------------
+
+    def record_group(self, label: str) -> None:
+        """Record a command routed to engine group *label*."""
+        self.commands_by_group[label] += 1
 
     # -- load balance (E4) ----------------------------------------------
 

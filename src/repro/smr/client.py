@@ -33,6 +33,15 @@ class Client:
     at most ``window`` commands in flight, sequences issued in order --
     holds by construction: sequences are stamped from a monotone counter
     and the pipelined client's ``window`` bounds in-flight commands.
+
+    **Router-aware sessions.** When the cluster is a shard router
+    (anything exposing ``session_scope(key)``), a session client keeps
+    one session window *per scope* -- commands are stamped
+    ``"<session>@<scope>:<seq>"`` from a per-scope monotone counter
+    (scopes are ``g<N>`` per group, ``xs`` for cross-shard).  One global
+    counter would interleave scopes and leave permanent sequence gaps in
+    each group's window; per-scope counters keep every group's cid
+    stream dense, so the learner-side window contract holds per group.
     """
 
     name: str
@@ -45,6 +54,7 @@ class Client:
     issue_times: dict[Command, float] = field(default_factory=dict)
     retries: dict[Command, int] = field(default_factory=dict)
     _next_seq: int = field(default=0)
+    _scope_seqs: dict = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         if self.retry_interval is not None and self.retry_interval <= 0:
@@ -55,6 +65,13 @@ class Client:
     def make_command(self, op: str, key: str, arg=None) -> Command:
         """A new command, session-stamped when this client has a session."""
         if self.session is not None:
+            scope_of = getattr(self.cluster, "session_scope", None)
+            if scope_of is not None:
+                # Router-aware mode: one dense session window per scope.
+                scope = scope_of(key)
+                seq = self._scope_seqs.get(scope, 0)
+                self._scope_seqs[scope] = seq + 1
+                return Command(f"{self.session}@{scope}:{seq}", op, key, arg)
             cid = f"{self.session}:{self._next_seq}"
         else:
             cid = f"{self.name}-{self._next_seq}"

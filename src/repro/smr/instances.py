@@ -187,12 +187,19 @@ from repro.core.checkpoint import (
 )
 from repro.core.liveness import FailureDetector, Heartbeat, LivenessConfig
 from repro.core.sessions import SessionConfig, SessionDedup
+from repro.cstruct.digest import DeltaTrail
 from repro.core.quorums import QuorumSystem
 from repro.core.rounds import ZERO, RoundId, RoundSchedule
 from repro.core.runtime import Process, Runtime
 from repro.core.topology import Topology
 
 NOOP = "__noop__"
+
+# Entries kept in a learner's decided trail (the peer-catch-up delta
+# window): stamps older than this many instances fall back to full
+# values.  Sized a few multiples of RetransmitConfig.max_resend so any
+# laggard the retransmission layer still serves hits the delta path.
+_DECIDED_TRAIL_LIMIT = 256
 
 
 def _check_consistent(instance: int, existing: Hashable, val: Hashable) -> None:
@@ -366,9 +373,35 @@ class IGossip:
 
 @dataclass(frozen=True)
 class ICatchUp:
-    """Learner -> acceptors/peers: re-send evidence for *instances*."""
+    """Learner -> acceptors/peers: re-send evidence for *instances*.
+
+    ``frontier``/``digest`` stamp the requester's contiguous delivery
+    prefix with the delta wire protocol's ``(size, digest)`` scheme: a
+    peer learner whose decided trail contains that base answers with one
+    :class:`IDecidedDelta` suffix instead of per-instance full values.
+    ``frontier == -1`` means "no stamp" (pre-delta requester, or a
+    snapshot install in flight); acceptors ignore the stamp entirely.
+    """
 
     instances: tuple[int, ...]
+    frontier: int = -1
+    digest: int = 0
+
+
+@dataclass(frozen=True)
+class IDecidedDelta:
+    """Peer catch-up suffix: contiguous decisions above a matched stamp.
+
+    ``entries`` is ``((instance, value), ...)`` starting exactly at the
+    requester's stamped frontier -- the suffix of the responder's
+    decided trail after the base the requester advertised.  Mismatched
+    or too-old stamps never produce this message; the responder falls
+    back to per-instance :class:`IDecided` full values, so a digest
+    collision costs a redundant transfer, never correctness (the
+    receiver still runs the usual consistency oracle per entry).
+    """
+
+    entries: tuple[tuple[int, Hashable], ...]
 
 
 @dataclass
@@ -1560,10 +1593,14 @@ class SMRLearner(Process):
     # statistics.  Stable state is the decided log plus the learner's own
     # checkpoint journal (both restored in on_recover).
     VOLATILE = {
+        "_decided_trail",
         "_installer",
         "_peer_frontiers",
         "acks_sent",
+        "catchup_fallbacks",
         "catchup_requests",
+        "delta_catchup_received",
+        "delta_catchup_sent",
         "snapshot_chunks_sent",
         "snapshot_installs",
         "snapshots_taken",
@@ -1576,6 +1613,16 @@ class SMRLearner(Process):
         self.delivered: list[Hashable] = []
         self.catchup_requests = 0
         self.acks_sent = 0
+        self.delta_catchup_sent = 0
+        self.delta_catchup_received = 0
+        self.catchup_fallbacks = 0
+        # The delivered prefix as a delta trail: one entry per consumed
+        # instance (NOOPs included), so ``size`` tracks _next_delivery and
+        # a peer's stamped frontier addresses a suffix directly.  Reset
+        # (re-anchored at the frontier, digest 0) on checkpoint adoption:
+        # stamps from differently-anchored peers simply mismatch and fall
+        # back to full values -- never wrong, at worst redundant.
+        self._decided_trail = DeltaTrail(limit=_DECIDED_TRAIL_LIMIT)
         self.snapshots_taken = 0
         self.snapshot_installs = 0
         self.snapshot_chunks_sent = 0
@@ -1726,26 +1773,77 @@ class SMRLearner(Process):
         if not missing_instances:
             return
         self.catchup_requests += 1
-        request = ICatchUp(tuple(missing_instances))
+        if start is None:
+            # Stamp the contiguous delivered prefix so a peer learner can
+            # answer with one IDecidedDelta suffix instead of full values.
+            request = ICatchUp(
+                tuple(missing_instances),
+                self._decided_trail.size,
+                self._decided_trail.digest,
+            )
+        else:
+            # A snapshot install is in flight: the frontier is about to
+            # jump, so a delta anchored at the current stamp would ship
+            # values the install already carries.
+            request = ICatchUp(tuple(missing_instances))
         peers = [pid for pid in self.config.topology.learners if pid != self.pid]
         self.broadcast(self.config.topology.acceptors, request)
         self.broadcast(peers, request)
 
     def on_icatchup(self, msg: ICatchUp, src: Hashable) -> None:
-        """Answer a peer's gap request: decisions, or a snapshot offer.
+        """Answer a peer's gap request: a delta suffix, decisions, or a
+        snapshot offer.
 
-        Instances we truncated (below our checkpoint) cannot be answered
-        from the log any more -- the peer is behind our snapshot frontier,
-        so offer the checkpoint instead (tier two of catch-up).
+        A stamped request whose ``(frontier, digest)`` matches a base in
+        our decided trail is answered with one :class:`IDecidedDelta`
+        carrying the contiguous suffix -- the delta-wire-protocol path.
+        Stamps we cannot match (too old, differently anchored, or absent)
+        fall back to per-instance full values, and instances we truncated
+        (below our checkpoint) are answered with a snapshot offer instead
+        (tier two of catch-up).
         """
+        served_below = -1
+        if msg.frontier >= 0:
+            suffix = self._decided_trail.suffix_from(msg.frontier, msg.digest)
+            if suffix:
+                cap = self.config.retransmit.max_resend if self.config.retransmit else 64
+                chunk = suffix[:cap]
+                self.delta_catchup_sent += 1
+                self.send(src, IDecidedDelta(chunk))
+                # Entries below this bound ride the delta; anything the
+                # requester asked for above it (decided here but not yet
+                # delivered, hence not in the trail) is served below.
+                served_below = msg.frontier + len(chunk)
+            elif suffix is None and msg.frontier < self._decided_trail.size:
+                self.catchup_fallbacks += 1
         offered = False
         for instance in msg.instances:
+            if instance < served_below:
+                continue
             value = self.decided.get(instance)
             if value is not None:
                 self.send(src, IDecided(instance, value))
             elif instance < self.snap_frontier and not offered:
                 self.send(src, ISnapshotOffer(self.snap_frontier))
                 offered = True
+
+    def on_idecideddelta(self, msg: IDecidedDelta, src: Hashable) -> None:
+        """Fold a peer's catch-up suffix, entry by entry.
+
+        Each entry runs the same path as an :class:`IDecided` full value:
+        the consistency oracle still checks every already-known instance,
+        so a digest collision upstream can never smuggle in a divergent
+        decision.
+        """
+        self.delta_catchup_received += 1
+        for instance, value in msg.entries:
+            if instance < self._truncated_below:
+                continue
+            existing = self.decided.get(instance)
+            if existing is not None:
+                _check_consistent(instance, existing, value)
+                continue
+            self._learn(instance, value)
 
     # -- checkpointing ------------------------------------------------------
 
@@ -1918,6 +2016,13 @@ class SMRLearner(Process):
             self._delivered_set = set(delivered)
         self._next_delivery = frontier
         self._top_decided = max(self._top_decided, frontier - 1)
+        # Re-anchor the decided trail at the new frontier: the values
+        # below it are gone (snapshot-carried), so the rolling prefix
+        # digest is no longer computable.  Digest 0 at the frontier means
+        # differently-anchored peers' stamps mismatch and fall back to
+        # full values; two learners that adopted the same checkpoint
+        # share the anchor and keep the delta path between them.
+        self._decided_trail.reset(frontier, 0)
         self._truncate_log(frontier)
         if self._replica is not None:
             self._replica.install_snapshot(machine_state, delivered)
@@ -1943,6 +2048,7 @@ class SMRLearner(Process):
         self.snap_frontier = 0
         self._votes = {}
         self._peer_frontiers = {}
+        self._decided_trail = DeltaTrail(limit=_DECIDED_TRAIL_LIMIT)
         self._installer.reset()
         if self._replica is not None:
             self._replica.install_snapshot(None, ())
@@ -1978,6 +2084,10 @@ class SMRLearner(Process):
             instance = self._next_delivery
             value = self.decided[instance]
             self._next_delivery += 1
+            # One trail entry per consumed instance (NOOPs too): the
+            # trail's size stays equal to the delivery frontier, so peer
+            # stamps address suffixes by instance number.
+            self._decided_trail.append(((instance, value),))
             if value == NOOP:
                 continue
             cmds = value.cmds if isinstance(value, Batch) else (value,)
@@ -2045,6 +2155,8 @@ class SMRCluster:
             "reannounced_2a": sum(c.reannounced_2a for c in self.coordinators),
             "catchup_requests": sum(l.catchup_requests for l in self.learners),
             "acks": sum(l.acks_sent for l in self.learners),
+            "delta_catchups": sum(l.delta_catchup_sent for l in self.learners),
+            "catchup_fallbacks": sum(l.catchup_fallbacks for l in self.learners),
         }
 
     def checkpoint_stats(self) -> dict[str, int]:

@@ -69,6 +69,7 @@ from repro.smr.instances import (
     IAck,
     ICatchUp,
     IDecided,
+    IDecidedDelta,
     IGossip,
     INack,
     IPropose,
@@ -122,7 +123,8 @@ MESSAGE_SAMPLES = {
     "IAck": IAck(Batch((CMD,)), 9),
     "IDecided": IDecided(3, CMD),
     "IGossip": IGossip((CMD,), (2, 5)),
-    "ICatchUp": ICatchUp((1, 2, 3)),
+    "ICatchUp": ICatchUp((1, 2, 3), frontier=4, digest=0x5A5A5A),
+    "IDecidedDelta": IDecidedDelta(((4, CMD), (5, Batch((CMD2,))))),
     # net control plane
     "CtlHello": CtlHello("acc0"),
     "CtlWelcome": CtlWelcome(),
