@@ -1789,6 +1789,322 @@ def experiment_e16_cross(
     return rows
 
 
+# ---------------------------------------------------------------------------
+# E17 -- randomized fault soak: nemesis episodes + trace-checked consistency
+# ---------------------------------------------------------------------------
+
+
+def _e17_fault_configs():
+    """Shared reliability/liveness tuning for the soak deployments."""
+    from repro.core.checkpoint import CheckpointConfig, RetransmitConfig
+
+    retransmit = RetransmitConfig(retry_interval=4.0)
+    liveness = LivenessConfig(
+        heartbeat_period=2.0,
+        suspect_timeout=8.0,
+        check_period=2.0,
+        stuck_timeout=10.0,
+    )
+    checkpoint = CheckpointConfig(interval=32, chunk_size=16)
+    return retransmit, liveness, checkpoint
+
+
+def _e17_workload(make_command, n_cmds: int, n_keys: int = 5) -> list:
+    """A mixed put/inc/get/cas stream over a small key set.
+
+    Reads and CAS make the checker's witness replay meaningful: a
+    divergent order almost surely changes some recorded result.
+    """
+    cmds = []
+    for i in range(n_cmds):
+        key = f"k{i % n_keys}"
+        kind = i % 4
+        if kind == 0:
+            cmds.append(make_command("put", key, i))
+        elif kind == 1:
+            cmds.append(make_command("inc", key, None))
+        elif kind == 2:
+            cmds.append(make_command("get", key, None))
+        else:
+            cmds.append(make_command("cas", key, (i - 4, i)))
+    return cmds
+
+
+def _e17_row(
+    engine: str,
+    seed: int,
+    episodes: int,
+    cmds,
+    completed: bool,
+    report,
+    nem,
+    horizon: float,
+    done_clock: float,
+    retained: int | None,
+) -> Row:
+    return {
+        "engine": engine,
+        "seed": seed,
+        "episodes": episodes,
+        "commands": len(cmds),
+        "completed after heal": completed,
+        "violations": len(report.violations),
+        "checker events": report.events,
+        "nemesis lines": len(nem.log),
+        "heal horizon": round(horizon, 1),
+        "done clock": round(done_clock, 1),
+        "heal-to-done": round(max(0.0, done_clock - horizon), 1),
+        "peak retained": retained if retained is not None else "",
+    }
+
+
+def _e17_smr_run(
+    seed: int,
+    episodes: int,
+    n_cmds: int,
+    mean_gap: float = 5.0,
+    mean_duration: float = 6.0,
+) -> Row:
+    """One nemesis soak on the instances engine, trace-checked."""
+    from repro.chaos import mixed_soak
+    from repro.core.checker import TraceRecorder, check_trace
+    from repro.sim.nemesis import ClusterView, Nemesis
+    from repro.smr.client import PipelinedClient
+    from repro.smr.instances import build_smr
+    from repro.smr.machine import KVStore
+    from repro.smr.replica import OrderedReplica
+
+    retransmit, liveness, checkpoint = _e17_fault_configs()
+    sim = Simulation(
+        seed=seed,
+        network=NetworkConfig(latency=1.0, jitter=0.5),
+        max_events=30_000_000,
+    )
+    cluster = build_smr(
+        sim,
+        n_proposers=1,
+        n_coordinators=2,
+        n_acceptors=3,
+        n_learners=2,
+        retransmit=retransmit,
+        liveness=liveness,
+        checkpoint=checkpoint,
+    )
+    cluster.start_round(cluster.config.schedule.make_round(coord=0, count=2, rtype=2))
+    replicas = [OrderedReplica(l, KVStore()) for l in cluster.learners]
+
+    recorder = TraceRecorder(sim)
+    recorder.attach_smr(cluster, replicas=replicas)
+
+    client = PipelinedClient("c0", cluster, window=4, retry_interval=16.0)
+    client.watch_replica(replicas[0])
+    cmds = _e17_workload(client.make_command, n_cmds)
+    for cmd in cmds:
+        recorder.note_propose(cmd)
+        recorder.note_invoke(cmd)
+    client.submit(cmds)
+
+    view = ClusterView.of(cluster)
+    nem = Nemesis(sim, view, seed=seed)
+    horizon = nem.apply(
+        mixed_soak(view, seed=seed, episodes=episodes,
+                   mean_gap=mean_gap, mean_duration=mean_duration)
+    )
+    sim.run_until(lambda: sim.clock >= horizon, timeout=horizon + 1)
+    nem.heal()
+    completed = sim.run_until(
+        lambda: client.all_completed(), timeout=sim.clock + 8_000.0
+    )
+    for cmd in cmds:
+        recorder.note_complete(cmd.cid)
+
+    report = check_trace(recorder.events)
+    retained = max(cluster.retained_state().values())
+    return _e17_row(
+        "instances", seed, episodes, cmds, completed, report, nem,
+        horizon, sim.clock, retained,
+    )
+
+
+def _e17_generalized_run(
+    seed: int,
+    episodes: int,
+    n_cmds: int,
+    mean_gap: float = 5.0,
+    mean_duration: float = 6.0,
+) -> Row:
+    """One nemesis soak on the generalized engine, trace-checked."""
+    from repro.chaos import mixed_soak
+    from repro.core.checker import TraceRecorder, check_trace
+    from repro.sim.nemesis import ClusterView, Nemesis
+    from repro.smr.client import PipelinedClient
+    from repro.smr.machine import KVStore
+    from repro.smr.replica import BroadcastReplica
+
+    retransmit, liveness, checkpoint = _e17_fault_configs()
+    sim = Simulation(
+        seed=seed,
+        network=NetworkConfig(latency=1.0, jitter=0.5),
+        max_events=30_000_000,
+    )
+    cluster = build_generalized(
+        sim,
+        CommandHistory.bottom(kv_conflict()),
+        n_proposers=1,
+        n_coordinators=2,
+        n_acceptors=3,
+        n_learners=2,
+        retransmit=retransmit,
+        liveness=liveness,
+        checkpoint=checkpoint,
+    )
+    cluster.start_round(cluster.config.schedule.make_round(0, 2, 2))
+    replicas = [BroadcastReplica(l, KVStore()) for l in cluster.learners]
+
+    recorder = TraceRecorder(sim)
+    recorder.attach_generalized(cluster, replicas=replicas)
+
+    client = PipelinedClient("c0", cluster, window=4, retry_interval=16.0)
+    client.watch_learner(cluster.learners[0])
+    cmds = _e17_workload(client.make_command, n_cmds)
+    for cmd in cmds:
+        recorder.note_propose(cmd)
+        recorder.note_invoke(cmd)
+    client.submit(cmds)
+
+    view = ClusterView.of(cluster)
+    nem = Nemesis(sim, view, seed=seed)
+    horizon = nem.apply(
+        mixed_soak(view, seed=seed, episodes=episodes,
+                   mean_gap=mean_gap, mean_duration=mean_duration)
+    )
+    sim.run_until(lambda: sim.clock >= horizon, timeout=horizon + 1)
+    nem.heal()
+    completed = sim.run_until(
+        lambda: client.all_completed(), timeout=sim.clock + 8_000.0
+    )
+    for cmd in cmds:
+        recorder.note_complete(cmd.cid)
+
+    report = check_trace(recorder.events)
+    retained = max(cluster.retained_history().values())
+    return _e17_row(
+        "generalized", seed, episodes, cmds, completed, report, nem,
+        horizon, sim.clock, retained,
+    )
+
+
+def _e17_sharded_run(
+    seed: int,
+    episodes: int,
+    n_cmds: int,
+    n_groups: int = 2,
+    cross_every: int = 10,
+    mean_gap: float = 5.0,
+    mean_duration: float = 6.0,
+) -> Row:
+    """One nemesis soak on a sharded deployment, trace-checked.
+
+    Faults hit group and merge roles alike; cross-shard commands keep
+    the merge path exercised while partitions and crash storms land.
+    The sharded groups run without checkpointing (see
+    ``repro.shard.deploy``), so no retained-state bound is claimed here.
+    """
+    from repro.chaos import mixed_soak
+    from repro.core.checker import TraceRecorder, check_trace
+    from repro.shard import ShardedDeployment
+    from repro.sim.nemesis import ClusterView, Nemesis
+
+    retransmit, liveness, _ = _e17_fault_configs()
+    sim = Simulation(
+        seed=seed,
+        network=NetworkConfig(latency=1.0, jitter=0.5),
+        max_events=30_000_000,
+    )
+    deployment = ShardedDeployment.build(
+        sim, n_groups, retransmit=retransmit, liveness=liveness
+    ).start()
+
+    recorder = TraceRecorder(sim)
+    recorder.attach_sharded(deployment)
+
+    def keys_for_group(gid: int, count: int) -> list[str]:
+        keys: list[str] = []
+        i = 0
+        while len(keys) < count:
+            key = f"k{i}"
+            if deployment.shard_map.group_of_key(key) == gid:
+                keys.append(key)
+            i += 1
+        return keys
+
+    per_group = [keys_for_group(gid, 2) for gid in range(n_groups)]
+    flat = [key for keys in per_group for key in keys]
+    cmds = []
+    for i in range(n_cmds):
+        if cross_every and i % cross_every == cross_every - 1:
+            a = per_group[i % n_groups][0]
+            b = per_group[(i + 1) % n_groups][0]
+            cmds.append(Command(f"x{i}", "put", f"{a}|{b}", i))
+        else:
+            cmds.append(Command(f"c{i}", "put", flat[i % len(flat)], i))
+    for cmd in cmds:
+        recorder.note_propose(cmd)
+
+    view = ClusterView.of(deployment)
+    nem = Nemesis(sim, view, seed=seed)
+    horizon = nem.apply(
+        mixed_soak(view, seed=seed, episodes=episodes,
+                   mean_gap=mean_gap, mean_duration=mean_duration)
+    )
+    spacing = max(0.5, horizon / max(1, len(cmds)))
+    for j, cmd in enumerate(cmds):
+        deployment.router.propose(cmd, delay=2.0 + spacing * j)
+
+    sim.run_until(lambda: sim.clock >= horizon, timeout=horizon + 1)
+    nem.heal()
+    completed = deployment.run_until_executed(cmds, timeout=sim.clock + 8_000.0)
+
+    report = check_trace(recorder.events)
+    row = _e17_row(
+        "sharded", seed, episodes, cmds, completed, report, nem,
+        horizon, sim.clock, None,
+    )
+    row["divergent keys"] = len(deployment.divergent_keys())
+    return row
+
+
+def experiment_e17(
+    runs_per_engine: int = 2,
+    episodes_per_run: int = 8,
+    n_cmds: int = 48,
+    base_seed: int = 23,
+) -> list[Row]:
+    """Randomized nemesis soak across all three deployment shapes.
+
+    Every run drives a mixed workload while a seeded :class:`Nemesis`
+    composes partitions, flapping links, latency skew and crash storms,
+    then heals and requires (1) every command completes -- liveness
+    restored, (2) the offline trace checker finds zero violations, and
+    (3) retained per-process state stays bounded by the checkpoint
+    window on the checkpointing engines.  ``benchmarks/bench_e17_soak.py``
+    scales this to >= 1000 episodes; the defaults here are the unit-smoke
+    parameterization.
+    """
+    rows: list[Row] = []
+    for i in range(runs_per_engine):
+        rows.append(_e17_smr_run(base_seed + i, episodes_per_run, n_cmds))
+    for i in range(runs_per_engine):
+        rows.append(
+            _e17_generalized_run(base_seed + 100 + i, episodes_per_run, n_cmds)
+        )
+    for i in range(runs_per_engine):
+        rows.append(
+            _e17_sharded_run(base_seed + 200 + i, episodes_per_run, n_cmds)
+        )
+    return rows
+
+
 ALL_EXPERIMENTS: dict[str, Callable[[], list[Row]]] = {
     "E1 latency (steps)": experiment_e1,
     "E2 quorum sizes": experiment_e2,
@@ -1811,4 +2127,5 @@ ALL_EXPERIMENTS: dict[str, Callable[[], list[Row]]] = {
     "E15 delta on real sockets": experiment_e15_net,
     "E16 sharded throughput": experiment_e16,
     "E16 cross-shard fraction": experiment_e16_cross,
+    "E17 randomized fault soak": experiment_e17,
 }

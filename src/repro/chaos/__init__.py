@@ -1,0 +1,34 @@
+"""Chaos: the declarative adversarial-scenario library.
+
+Named scenario constructors over the :mod:`repro.sim.nemesis`
+primitives.  Every constructor returns a :class:`~repro.sim.nemesis.Scenario`
+-- pure data -- that a :class:`~repro.sim.nemesis.Nemesis` applies to
+any deployment shape (instances engine, generalized engine, sharded).
+"""
+
+from repro.chaos.scenarios import (
+    flaky_fabric,
+    leader_outage,
+    learner_blackout,
+    mixed_soak,
+    molasses,
+    one_way_blackout,
+    rolling_crashes,
+    split_brain,
+)
+from repro.sim.nemesis import ClusterView, Episode, Nemesis, Scenario
+
+__all__ = [
+    "ClusterView",
+    "Episode",
+    "Nemesis",
+    "Scenario",
+    "flaky_fabric",
+    "leader_outage",
+    "learner_blackout",
+    "mixed_soak",
+    "molasses",
+    "one_way_blackout",
+    "rolling_crashes",
+    "split_brain",
+]

@@ -1,0 +1,152 @@
+"""Named adversarial scenarios and the randomized mixed-soak generator.
+
+Each constructor returns a declarative :class:`Scenario`; nothing here
+touches a simulation.  Scenarios that need concrete pids (partitions)
+take a :class:`ClusterView`; scenarios targeting roles resolved at fault
+time (the leader, a learner quorum, random crash victims) stay
+view-agnostic and resolve when the nemesis begins the episode.
+
+``mixed_soak`` is the E17 workhorse: a seeded generator drawing episode
+types, start offsets and durations from one ``random.Random`` -- the
+same ``(view, seed)`` always yields the identical fault schedule, so a
+failing soak run reproduces from its logged seed alone (see
+``docs/testing.md``).
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.sim.nemesis import (
+    AsymmetricPartition,
+    ClusterView,
+    CrashStorm,
+    Episode,
+    FlappingLinks,
+    IsolateLeader,
+    IsolateLearnerQuorum,
+    LatencySkew,
+    Scenario,
+    SymmetricPartition,
+)
+
+
+def _halves(pids: tuple) -> tuple[tuple, tuple]:
+    pids = tuple(sorted(pids))
+    mid = len(pids) // 2
+    return pids[:mid], pids[mid:]
+
+
+def split_brain(view: ClusterView, at: float = 1.0, duration: float = 30.0) -> Scenario:
+    """Cut the cluster in two across every role; heal after *duration*."""
+    side_a, side_b = _halves(view.all_pids)
+    return Scenario(
+        "split-brain",
+        (Episode(at, duration, SymmetricPartition(side_a, side_b)),),
+    )
+
+
+def one_way_blackout(
+    view: ClusterView, at: float = 1.0, duration: float = 30.0
+) -> Scenario:
+    """Acceptors' replies to learners die; the request direction lives.
+
+    The nastiest asymmetric case for a learner: its catch-up requests
+    arrive, every answer is lost.
+    """
+    return Scenario(
+        "one-way-blackout",
+        (Episode(at, duration, AsymmetricPartition(view.acceptors, view.learners)),),
+    )
+
+
+def leader_outage(at: float = 1.0, duration: float = 30.0) -> Scenario:
+    """Isolate whoever leads when the episode begins."""
+    return Scenario("leader-outage", (Episode(at, duration, IsolateLeader()),))
+
+
+def learner_blackout(
+    at: float = 1.0, duration: float = 30.0, count: int = 0
+) -> Scenario:
+    """Isolate a learner majority (or *count* learners) per cluster."""
+    return Scenario(
+        "learner-blackout", (Episode(at, duration, IsolateLearnerQuorum(count)),)
+    )
+
+
+def flaky_fabric(
+    at: float = 1.0, duration: float = 40.0, picks: int = 3, mean_period: float = 4.0
+) -> Scenario:
+    """Random links flap up and down on a seeded schedule."""
+    return Scenario(
+        "flaky-fabric",
+        (Episode(at, duration, FlappingLinks(picks=picks, mean_period=mean_period)),),
+    )
+
+
+def molasses(
+    at: float = 1.0, duration: float = 40.0, picks: int = 2, factor: float = 4.0
+) -> Scenario:
+    """Skew latency on links touching random processes."""
+    return Scenario(
+        "molasses", (Episode(at, duration, LatencySkew(picks=picks, factor=factor)),)
+    )
+
+
+def rolling_crashes(
+    at: float = 1.0, duration: float = 20.0, picks: int = 2, stagger: float = 0.5
+) -> Scenario:
+    """A staggered crash storm; victims recover on heal."""
+    return Scenario(
+        "rolling-crashes",
+        (Episode(at, duration, CrashStorm(picks=picks, stagger=stagger)),),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Randomized mixed soak
+# ---------------------------------------------------------------------------
+
+
+def _palette(view: ClusterView):
+    """Episode builders for the mixed soak; each maps an rng to a Fault."""
+    acc_a, acc_b = _halves(view.acceptors)
+    all_a, all_b = _halves(view.all_pids)
+    return (
+        lambda rng: AsymmetricPartition(acc_a or view.acceptors, view.learners),
+        lambda rng: AsymmetricPartition(view.coordinators, acc_b or view.acceptors),
+        lambda rng: SymmetricPartition(all_a, all_b),
+        lambda rng: IsolateLeader(),
+        lambda rng: IsolateLearnerQuorum(),
+        lambda rng: FlappingLinks(picks=rng.randint(1, 3)),
+        lambda rng: LatencySkew(picks=rng.randint(1, 2), factor=rng.uniform(2.0, 5.0)),
+        lambda rng: CrashStorm(picks=rng.randint(1, 2)),
+    )
+
+
+def mixed_soak(
+    view: ClusterView,
+    seed: int,
+    episodes: int = 20,
+    mean_gap: float = 6.0,
+    mean_duration: float = 8.0,
+) -> Scenario:
+    """A randomized schedule of *episodes* mixed faults, then full heal.
+
+    Episode types, offsets (gap ``U(0.3, 1.7) * mean_gap`` between
+    starts) and durations (``U(0.5, 1.5) * mean_duration``) are all
+    drawn from ``random.Random(f"mixed|{seed}")``: the scenario is a
+    pure function of ``(view, seed)``.  Every episode is finite, so the
+    scenario's :meth:`~repro.sim.nemesis.Scenario.horizon` bounds when
+    the network is whole again and liveness must resume.
+    """
+    rng = random.Random(f"mixed|{seed}")
+    palette = _palette(view)
+    out: list[Episode] = []
+    t = rng.uniform(0.3, 1.7) * mean_gap
+    for _ in range(episodes):
+        fault = palette[rng.randrange(len(palette))](rng)
+        duration = rng.uniform(0.5, 1.5) * mean_duration
+        out.append(Episode(at=t, duration=duration, fault=fault))
+        t += rng.uniform(0.3, 1.7) * mean_gap
+    return Scenario(f"mixed-{seed}", tuple(out))

@@ -1542,6 +1542,7 @@ class GenLearner(Process):
         self.learned: CStruct = config.bottom
         self._latest: dict[RoundId, dict[Hashable, CStruct]] = {}
         self._callbacks: list[Callable[[tuple[Command, ...], CStruct], None]] = []
+        self._adopt_callbacks: list[Callable[[int, tuple], None]] = []
         # Executed frontier: every command ever learned (stable base
         # included -- ``learned`` itself only holds the tail above it).
         # With SessionConfig this is a bounded SessionDedup instead of an
@@ -1604,6 +1605,16 @@ class GenLearner(Process):
     def on_learn(self, callback: Callable[[tuple[Command, ...], CStruct], None]) -> None:
         """Register ``callback(new_commands, learned)`` for learn events."""
         self._callbacks.append(callback)
+
+    def on_adopt(self, callback: Callable[[int, tuple], None]) -> None:
+        """Observe checkpoint adoptions: ``callback(frontier, delivered)``.
+
+        Fired whenever the learn-order sequence is replaced wholesale
+        (snapshot install or crash-recovery from a journalled
+        checkpoint) -- the trace-checker's window into commands that
+        never pass through :meth:`on_learn` callbacks.
+        """
+        self._adopt_callbacks.append(callback)
 
     def register_replica(self, replica) -> None:
         """Attach the replica whose machine state our checkpoints capture."""
@@ -2216,6 +2227,8 @@ class GenLearner(Process):
         self._bytes_since_snap = 0
         if self._replica is not None:
             self._replica.install_snapshot(machine_state, delivered)
+        for callback in self._adopt_callbacks:
+            callback(frontier, tuple(delivered))
         self._advertise()
 
     # -- crash-recovery -----------------------------------------------------

@@ -24,6 +24,15 @@ instantiates exactly the roles its placement hosts, via
 :func:`repro.net.cluster.deploy_roles`.  The role classes are byte-for-
 byte the ones the simulator runs.
 
+A spec may instead describe one node of a **sharded** deployment by
+adding ``"sharded": {"n_groups": N}``: the node then derives every
+group's instances-engine config (pid prefixes ``g0.``, ``g1.``...) plus
+the generalized merge group (``xs.``) from the same ``shape``, deploys
+whichever of those roles its placement hosts, and wires a
+:class:`~repro.shard.replica.ShardReplica` for every (group, site) whose
+group learner and merge learner are both local --
+:func:`sharded_node_plan` co-sites them for exactly that reason.
+
 Control plane
 -------------
 
@@ -61,9 +70,18 @@ from repro.core.checkpoint import CheckpointConfig, RetransmitConfig
 from repro.core.liveness import LivenessConfig
 from repro.core.rounds import ZERO
 from repro.core.runtime import Process
+from repro.cstruct.sharding import ShardMap
 from repro.net import codec
-from repro.net.cluster import bootstrap_round, deploy_roles
+from repro.net.cluster import (
+    DRIVER_NODE,
+    bootstrap_round,
+    codec_context_for,
+    deploy_generalized_roles,
+    deploy_roles,
+)
 from repro.net.transport import DEFAULT_MTU, AddressBook, NetRuntime
+from repro.shard.deploy import make_group_config, make_merge_config
+from repro.shard.replica import ShardReplica
 from repro.smr.instances import InstancesConfig, make_instances_config
 
 HELLO_INTERVAL = 0.25
@@ -116,21 +134,48 @@ class CtlShutdown:
     """Driver -> node: exit cleanly."""
 
 
+@dataclass(frozen=True)
+class CtlKeyOrders:
+    """Driver -> node: report every local shard replica's per-key order."""
+
+
+@dataclass(frozen=True)
+class CtlKeyOrdersReply:
+    """Node -> driver: ``orders`` is a tuple of (group, site, key orders).
+
+    Each entry is ``(gid, site, ((key, (cid, ...)), ...))`` -- one local
+    :class:`~repro.shard.replica.ShardReplica`'s executed cid sequence
+    per owned key, the raw material of the driver's zero-divergence
+    audit.
+    """
+
+    node: str
+    orders: tuple
+
+
 class ControlAgent(Process):
-    """The node-side management endpoint (one per OS process)."""
+    """The node-side management endpoint (one per OS process).
+
+    ``configs`` is every engine config the deployment runs -- one
+    :class:`InstancesConfig` on the classic path, the N group configs
+    plus the merge config on the sharded path; the agent only ever acts
+    on the roles of those configs its own node hosts.
+    """
 
     def __init__(
         self,
         pid: str,
         sim: NetRuntime,
         roles: dict[str, Any],
-        config: InstancesConfig,
+        configs: list,
         driver: str,
+        replicas: tuple = (),
     ) -> None:
         super().__init__(pid, sim)
         self.roles = roles
-        self.config = config
+        self.configs = list(configs)
         self.driver = driver
+        self.replicas = tuple(replicas)  # (gid, site, ShardReplica)
         self.shutdown_requested = False
         self._drain_deadline = 0.0
         self._hello_timer = self.set_periodic_timer(HELLO_INTERVAL, self._hello)
@@ -145,18 +190,34 @@ class ControlAgent(Process):
             self._hello_timer = None
 
     def on_ctlstart(self, msg: CtlStart, src: Hashable) -> None:
-        pid = self.config.topology.coordinators[msg.coord]
-        coordinator = self.roles.get(pid)
-        if coordinator is not None and coordinator.crnd == ZERO:
-            coordinator.start_round(bootstrap_round(self.config))
+        for config in self.configs:
+            pid = config.topology.coordinators[msg.coord]
+            coordinator = self.roles.get(pid)
+            if coordinator is not None and coordinator.crnd == ZERO:
+                coordinator.start_round(bootstrap_round(config))
 
     def on_ctlorders(self, msg: CtlOrders, src: Hashable) -> None:
         orders = tuple(
             (pid, tuple(self.roles[pid].delivered))
-            for pid in self.config.topology.learners
+            for config in self.configs
+            for pid in config.topology.learners
             if pid in self.roles
         )
         self.send(src, CtlOrdersReply(node=self.sim.node, orders=orders))
+
+    def on_ctlkeyorders(self, msg: CtlKeyOrders, src: Hashable) -> None:
+        orders = tuple(
+            (
+                gid,
+                site,
+                tuple(
+                    (key, tuple(cids))
+                    for key, cids in sorted(replica.key_orders.items())
+                ),
+            )
+            for gid, site, replica in self.replicas
+        )
+        self.send(src, CtlKeyOrdersReply(node=self.sim.node, orders=orders))
 
     def on_ctlshutdown(self, msg: CtlShutdown, src: Hashable) -> None:
         self._drain_deadline = self.sim.clock + DRAIN_GRACE
@@ -186,6 +247,7 @@ class ControlClient(Process):
         self.expected = set(expected)
         self.hellos: set[str] = set()
         self.orders: dict[str, tuple] = {}
+        self.key_orders: dict[str, tuple] = {}
 
     def on_ctlhello(self, msg: CtlHello, src: Hashable) -> None:
         self.hellos.add(msg.node)
@@ -194,12 +256,20 @@ class ControlClient(Process):
     def on_ctlordersreply(self, msg: CtlOrdersReply, src: Hashable) -> None:
         self.orders[msg.node] = msg.orders
 
+    def on_ctlkeyordersreply(self, msg: CtlKeyOrdersReply, src: Hashable) -> None:
+        self.key_orders[msg.node] = msg.orders
+
     def all_ready(self) -> bool:
         return self.expected <= self.hellos
 
     def start_cluster(self, coord: int = 0) -> None:
         node = self.sim.book.node_of(self.config_coordinator_pid(coord))
         self.send(control_pid(node), CtlStart(coord=coord))
+
+    def start_nodes(self, nodes: list[str], coord: int = 0) -> None:
+        """Bootstrap rounds on *nodes* (every config hosted there starts)."""
+        for node in nodes:
+            self.send(control_pid(node), CtlStart(coord=coord))
 
     def config_coordinator_pid(self, coord: int) -> str:
         # The driver knows the topology only through the address book:
@@ -217,6 +287,19 @@ class ControlClient(Process):
             pid: order
             for reply in self.orders.values()
             for pid, order in reply
+        }
+
+    def audit_key_orders(self, nodes: list[str]) -> None:
+        self.key_orders = {}
+        for node in nodes:
+            self.send(control_pid(node), CtlKeyOrders())
+
+    def replica_key_orders(self) -> dict[tuple[int, int], dict[str, tuple]]:
+        """(group, site) -> {key: executed cid order}, over audited nodes."""
+        return {
+            (gid, site): {key: tuple(cids) for key, cids in orders}
+            for reply in self.key_orders.values()
+            for gid, site, orders in reply
         }
 
     def shutdown_cluster(self, nodes: list[str]) -> None:
@@ -244,25 +327,109 @@ def config_from_spec(spec: dict) -> InstancesConfig:
     )
 
 
+def sharded_configs_from_spec(spec: dict):
+    """``(shard_map, group_configs, merge_config)`` from a sharded spec.
+
+    Every node (and the driver) derives the identical configs from
+    ``shape`` + ``sharded.n_groups``.  Sharded groups run without
+    checkpointing (see :mod:`repro.shard.deploy`), so a ``checkpoint``
+    entry is ignored here.
+    """
+    shape = dict(spec["shape"])
+    shape.pop("f", None)
+    n_groups = spec["sharded"]["n_groups"]
+    retransmit = _cfg(RetransmitConfig, spec.get("retransmit"))
+    liveness = _cfg(LivenessConfig, spec.get("liveness"))
+    group_configs = [
+        make_group_config(
+            f"g{gid}", **shape, retransmit=retransmit, liveness=liveness,
+            f=spec["shape"].get("f"),
+        )
+        for gid in range(n_groups)
+    ]
+    merge_config = make_merge_config(
+        **shape, retransmit=retransmit, liveness=liveness,
+        f=spec["shape"].get("f"),
+    )
+    return ShardMap(n_groups), group_configs, merge_config
+
+
+def sharded_node_plan(group_configs, merge_config) -> dict[str, str]:
+    """pid -> node for a sharded subprocess deployment.
+
+    Proposers ride the driver (they front for the router); each group's
+    coordinators and acceptors share one node named after the group
+    prefix; and site *i*'s learners of **every** group are co-sited on
+    node ``site<i>`` -- a :class:`~repro.shard.replica.ShardReplica`
+    subscribes to its group learner and the merge learner in the same
+    process, exactly as on the simulator.
+    """
+    placement: dict[str, str] = {}
+    for config in (*group_configs, merge_config):
+        topology = config.topology
+        prefix = topology.coordinators[0].split(".", 1)[0]
+        for pid in topology.proposers:
+            placement[pid] = DRIVER_NODE
+        for pid in (*topology.coordinators, *topology.acceptors):
+            placement[pid] = prefix
+        for site, pid in enumerate(topology.learners):
+            placement[pid] = f"site{site}"
+    return placement
+
+
+def local_shard_replicas(
+    runtime: NetRuntime, shard_map: ShardMap, group_configs, merge_config, roles
+) -> tuple:
+    """The (gid, site, replica) triples this node can host locally."""
+    replicas = []
+    for gid, config in enumerate(group_configs):
+        for site, pid in enumerate(config.topology.learners):
+            merge_pid = merge_config.topology.learners[site]
+            if pid in roles and merge_pid in roles:
+                replicas.append(
+                    (gid, site, ShardReplica(gid, shard_map, roles[pid], roles[merge_pid]))
+                )
+    return tuple(replicas)
+
+
 async def run_node(spec: dict) -> None:
     """Serve one node until shutdown (or the ``lifetime`` deadline)."""
     book = AddressBook.from_json(spec)
+    sharded = "sharded" in spec
+    if sharded:
+        shard_map, group_configs, merge_config = sharded_configs_from_spec(spec)
+        configs: list = [*group_configs, merge_config]
+        context = codec_context_for(merge_config)
+    else:
+        configs = [config_from_spec(spec)]
+        context = None
     runtime = NetRuntime(
         spec["node"],
         book,
         seed=spec.get("seed", 0),
         mtu=spec.get("mtu", DEFAULT_MTU),
         loss_rate=spec.get("loss_rate", 0.0),
+        codec_context=context,
     )
     await runtime.start()
-    config = config_from_spec(spec)
-    roles = deploy_roles(runtime, config)
+    roles: dict[str, Any] = {}
+    replicas: tuple = ()
+    if sharded:
+        for config in group_configs:
+            roles.update(deploy_roles(runtime, config))
+        roles.update(deploy_generalized_roles(runtime, merge_config))
+        replicas = local_shard_replicas(
+            runtime, shard_map, group_configs, merge_config, roles
+        )
+    else:
+        roles.update(deploy_roles(runtime, configs[0]))
     agent = ControlAgent(
         control_pid(runtime.node),
         runtime,
         roles,
-        config,
+        configs,
         driver=control_pid(spec.get("driver", "driver")),
+        replicas=replicas,
     )
     try:
         await runtime.wait_until(

@@ -22,6 +22,7 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.sim.scheduler import Simulation
 
 DropFilter = Callable[[Hashable, Hashable, Any], bool]
+LatencyShaper = Callable[[Hashable, Hashable, float], float]
 
 
 @dataclass
@@ -62,28 +63,66 @@ class Network:
         self._sim = sim
         self.config = config or NetworkConfig()
         self._blocked: set[tuple[Hashable, Hashable]] = set()
-        self._drop_filters: list[DropFilter] = []
+        self._drop_filters: dict[tuple[str, int], DropFilter] = {}
+        self._latency_shapers: dict[tuple[str, int], LatencyShaper] = {}
+        self._hook_seq = 0
 
     # -- targeted loss (deterministic fault injection) --------------------
 
-    def add_drop_filter(self, filter_fn: DropFilter) -> DropFilter:
+    def add_drop_filter(self, filter_fn: DropFilter, label: str = "") -> DropFilter:
         """Drop every non-local message for which *filter_fn* returns True.
 
         ``filter_fn(src, dst, msg)`` runs before the random loss model and
-        consumes no RNG itself, so with random loss/jitter/duplication
+        consumes no sim RNG itself, so with random loss/jitter/duplication
         disabled a filter injects targeted, deterministic loss (e.g. "drop
         all I2b to learner 1") without perturbing the seeded schedule of
         everything else.  (With ``drop_rate``/``jitter``/``duplicate_rate``
         active, a filtered message skips the draws it would have consumed,
         so later random decisions shift.)  Returns the filter for removal.
+
+        Composition semantics (stacked filters): filters are keyed by
+        ``(label, registration seq)`` and evaluated in sorted key order;
+        **every** registered filter sees **every** non-local, non-blocked
+        message -- there is no short-circuit on the first match.  A message
+        is dropped iff at least one filter returned True.  This makes
+        stacked *stateful* filters (counting, flapping, burst schedules)
+        deterministic and independent of what other faults happen to be
+        installed: each filter's internal state advances over the same
+        message sequence whether it is registered first, last, or alone.
         """
-        self._drop_filters.append(filter_fn)
+        self._drop_filters[(label, self._hook_seq)] = filter_fn
+        self._hook_seq += 1
         return filter_fn
 
     def remove_drop_filter(self, filter_fn: DropFilter) -> None:
         """Stop applying *filter_fn* (no-op if already removed)."""
-        if filter_fn in self._drop_filters:
-            self._drop_filters.remove(filter_fn)
+        for key, registered in list(self._drop_filters.items()):
+            if registered is filter_fn:
+                del self._drop_filters[key]
+
+    # -- latency shaping (skewed per-link distributions) -------------------
+
+    def add_latency_shaper(self, shaper: LatencyShaper, label: str = "") -> LatencyShaper:
+        """Rewrite per-message delay: ``shaper(src, dst, delay) -> delay``.
+
+        Shapers run after the base ``latency + U(0, jitter)`` computation,
+        in sorted ``(label, registration seq)`` order, each receiving the
+        previous shaper's output; the result is clamped to ``>= 0``.  A
+        shaper must not touch the simulation's RNG -- if it needs
+        randomness (skewed per-link distributions) it carries its own
+        seeded ``random.Random`` so the rest of the schedule is unmoved.
+        Local delivery (``src == dst``) is never shaped.  Returns the
+        shaper for removal.
+        """
+        self._latency_shapers[(label, self._hook_seq)] = shaper
+        self._hook_seq += 1
+        return shaper
+
+    def remove_latency_shaper(self, shaper: LatencyShaper) -> None:
+        """Stop applying *shaper* (no-op if already removed)."""
+        for key, registered in list(self._latency_shapers.items()):
+            if registered is shaper:
+                del self._latency_shapers[key]
 
     # -- partitions ------------------------------------------------------
 
@@ -123,7 +162,14 @@ class Network:
         if self.is_blocked(src, dst):
             metrics.on_drop()
             return
-        if any(filter_fn(src, dst, msg) for filter_fn in self._drop_filters):
+        dropped = False
+        for key in sorted(self._drop_filters):
+            # No short-circuit: every filter observes every message so
+            # stateful filters stay deterministic under stacking (see
+            # add_drop_filter).
+            if self._drop_filters[key](src, dst, msg):
+                dropped = True
+        if dropped:
             metrics.on_drop()
             return
         rng = self._sim.rng
@@ -137,7 +183,9 @@ class Network:
             delay = self.config.latency
             if self.config.jitter:
                 delay += rng.uniform(0.0, self.config.jitter)
-            self._schedule_delivery(src, dst, msg, delay)
+            for key in sorted(self._latency_shapers):
+                delay = self._latency_shapers[key](src, dst, delay)
+            self._schedule_delivery(src, dst, msg, max(0.0, delay))
 
     def _schedule_delivery(self, src: Hashable, dst: Hashable, msg: Any, delay: float) -> None:
         def deliver() -> None:

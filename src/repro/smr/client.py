@@ -105,19 +105,31 @@ class Client:
         self.cluster.sim.schedule(backoff, lambda: self._watchdog(cmd))
 
     def watch_replica(self, replica) -> None:
-        """Record completion when *replica* executes one of our commands."""
+        """Record completion when *replica* executes one of our commands.
+
+        Commands can also reach the replica through a snapshot install
+        (chunked state transfer to a learner below the truncation floor),
+        which fast-forwards the executed sequence without running the
+        machine -- so no execute observer fires.  When the replica's
+        learner exposes ``on_adopt``, adopted commands are marked complete
+        from there; otherwise a pipelined client whose whole window lands
+        in a snapshot would wedge.
+        """
 
         def observer(cmd, result) -> None:
             self._note_complete(cmd)
 
         replica.on_execute(observer)
+        self._watch_adoptions(getattr(replica, "learner", None))
 
     def watch_learner(self, learner) -> None:
         """Record completion when *learner* learns one of our commands.
 
         For generalized-engine learners (``on_learn`` callbacks receiving
         ``(new_commands, learned)``): completion at learn time, without
-        deploying a replica.
+        deploying a replica.  Snapshot adoptions bypass ``on_learn`` just
+        as they bypass replica execution, so adopted commands complete
+        via ``on_adopt`` when the learner exposes it.
         """
 
         def observer(new_cmds, learned) -> None:
@@ -125,6 +137,18 @@ class Client:
                 self._note_complete(cmd)
 
         learner.on_learn(observer)
+        self._watch_adoptions(learner)
+
+    def _watch_adoptions(self, learner) -> None:
+        on_adopt = getattr(learner, "on_adopt", None)
+        if on_adopt is None:
+            return
+
+        def adopted(frontier, delivered) -> None:
+            for cmd in delivered:
+                self._note_complete(cmd)
+
+        on_adopt(adopted)
 
     def _note_complete(self, cmd) -> None:
         if cmd in self.issue_times and cmd not in self.completed:

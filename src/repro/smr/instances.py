@@ -1636,6 +1636,7 @@ class SMRLearner(Process):
         self._bytes_since_snap = 0
         self._votes: dict[int, dict[RoundId, dict[str, Hashable]]] = {}
         self._callbacks: list[Callable[[int, Hashable], None]] = []
+        self._adopt_callbacks: list[Callable[[int, tuple], None]] = []
         self._replica = None  # set via register_replica (OrderedReplica)
         self._peer_frontiers: dict[Hashable, int] = {}
         self._installer = SnapshotInstaller(self, lambda: self._next_delivery)
@@ -1650,6 +1651,16 @@ class SMRLearner(Process):
 
     def on_deliver(self, callback: Callable[[int, Hashable], None]) -> None:
         self._callbacks.append(callback)
+
+    def on_adopt(self, callback: Callable[[int, tuple], None]) -> None:
+        """Observe checkpoint adoptions: ``callback(frontier, delivered)``.
+
+        Fired whenever the delivered sequence is replaced wholesale
+        (snapshot install or crash-recovery from a journalled
+        checkpoint) -- the trace-checker's window into deliveries that
+        never pass through :meth:`on_deliver` callbacks.
+        """
+        self._adopt_callbacks.append(callback)
 
     def register_replica(self, replica) -> None:
         """Attach the replica whose machine state our checkpoints capture."""
@@ -2028,6 +2039,8 @@ class SMRLearner(Process):
             self._replica.install_snapshot(machine_state, delivered)
         self.snap_frontier = frontier
         self._bytes_since_snap = 0
+        for callback in self._adopt_callbacks:
+            callback(frontier, tuple(delivered))
         self._advertise()
 
     # -- crash-recovery -----------------------------------------------------

@@ -24,6 +24,7 @@ from repro.smr.instances import (
     RetransmitConfig,
     build_smr,
 )
+from repro.smr.client import PipelinedClient
 from repro.smr.machine import KVStore
 from repro.smr.replica import OrderedReplica
 from tests.conftest import cmd
@@ -270,6 +271,51 @@ def test_laggard_restart_below_floor_installs_snapshot_and_converges():
     assert victim.snapshot_installs >= 1
     assert len({r.order_signature() for r in replicas}) == 1
     assert len({r.machine.snapshot() for r in replicas}) == 1
+
+
+def test_client_completes_commands_that_arrive_via_snapshot_install():
+    """Regression (found by the nemesis soak): a snapshot install
+    fast-forwards the replica's executed state without firing execute
+    observers, so a client watching only that replica wedged when its
+    in-flight commands landed inside the snapshot.  Completion must come
+    through the learner's adoption hook instead."""
+    sim, cluster = deploy(
+        seed=3,
+        checkpoint=CheckpointConfig(interval=10, gc_quorum=2, chunk_size=8),
+        retransmit=RetransmitConfig(),
+        liveness=LivenessConfig(),
+    )
+    replicas = [OrderedReplica(l, KVStore()) for l in cluster.learners]
+    victim = cluster.learners[2]
+    client = PipelinedClient("c0", cluster, window=30)
+    client.watch_replica(replicas[2])
+    mine = [cmd(f"m{i}", "put", f"km{i}", i) for i in range(20)]
+    client.submit(mine)
+    # Crash the watched learner once it has checkpointed part of the
+    # window; the rest of the window decides while it is down.
+    assert sim.run_until(
+        lambda: sum(victim.has_delivered(c) for c in mine) >= 12,
+        timeout=10_000,
+    )
+    victim.crash()
+    background = make_cmds(40, prefix="bg")
+    for i, command in enumerate(background):
+        cluster.propose(command, delay=1.0 + 0.5 * i)
+    live = cluster.learners[:2]
+    assert sim.run_until(
+        lambda: all(l.has_delivered(c) for l in live for c in mine + background),
+        timeout=sim.clock + 10_000,
+    )
+    # The cluster truncated past the victim's durable checkpoint, so its
+    # recovery must go through a snapshot install -- which covers the
+    # client commands decided during the outage.
+    assert min(a.gc_floor for a in cluster.acceptors) > victim.storage.read(
+        "snapshot"
+    )["frontier"]
+    assert not client.all_completed()
+    victim.recover()
+    assert sim.run_until(client.all_completed, timeout=sim.clock + 10_000)
+    assert victim.snapshot_installs >= 1
 
 
 def test_gap_above_floor_served_from_log_without_install():

@@ -52,6 +52,8 @@ from repro.net import codec
 from repro.net.codec import CodecContext, CodecError
 from repro.net.node import (
     CtlHello,
+    CtlKeyOrders,
+    CtlKeyOrdersReply,
     CtlOrders,
     CtlOrdersReply,
     CtlShutdown,
@@ -131,6 +133,10 @@ MESSAGE_SAMPLES = {
     "CtlStart": CtlStart(0),
     "CtlOrders": CtlOrders(),
     "CtlOrdersReply": CtlOrdersReply("learn0", (("learn0", (CMD, CMD2)),)),
+    "CtlKeyOrders": CtlKeyOrders(),
+    "CtlKeyOrdersReply": CtlKeyOrdersReply(
+        "site0", ((0, 0, (("key", ("wire-1", "wire-2")),)),)
+    ),
     "CtlShutdown": CtlShutdown(),
     # classic baseline
     "CPropose": CPropose(CMD),

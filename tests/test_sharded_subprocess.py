@@ -1,0 +1,251 @@
+"""Sharded conformance on the subprocess launcher (``repro.net.node``).
+
+A 2-group sharded cluster as real OS processes: each group's
+coordinators + acceptors in their own ``python -m repro.net.node``
+child, the merge group likewise, and two learner-site children each
+hosting one :class:`~repro.shard.replica.ShardReplica` per group (the
+group learner and the merge learner are co-sited by
+:func:`~repro.net.node.sharded_node_plan`).  The driver hosts the
+proposers and a :class:`~repro.shard.router.ShardRouter`, submits a
+mixed single-shard + cross-shard workload, and audits the replicas'
+per-key executed orders over the wire (``CtlKeyOrders``):
+
+* every command executed by every replica of every owning group;
+* **zero per-key divergence** -- for each (group, key), all sites
+  report the identical cid sequence (the invariant
+  ``ShardedDeployment.divergent_keys`` checks on the simulator).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import socket
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.cstruct.commands import Command
+from repro.net.cluster import (
+    DRIVER_NODE,
+    GenNetCluster,
+    NetCluster,
+    codec_context_for,
+    wall_clock_liveness,
+    wall_clock_retransmit,
+)
+from repro.net.node import (
+    ControlClient,
+    control_pid,
+    sharded_configs_from_spec,
+    sharded_node_plan,
+)
+from repro.net.transport import AddressBook, NetRuntime
+from repro.shard.router import ShardRouter
+
+QUICK = os.environ.get("CI") == "quick"
+
+ROOT = Path(__file__).resolve().parent.parent
+
+SHAPE = {"n_proposers": 1, "n_coordinators": 2, "n_acceptors": 3, "n_learners": 2}
+N_GROUPS = 2
+N_CMDS = 24
+CROSS_EVERY = 4
+
+
+def reserve_ports(count: int) -> list[int]:
+    """Localhost ports free for both UDP and TCP (see cluster_launcher)."""
+    holds, ports = [], []
+    while len(ports) < count:
+        udp = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
+        udp.bind(("127.0.0.1", 0))
+        port = udp.getsockname()[1]
+        tcp = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        try:
+            tcp.bind(("127.0.0.1", port))
+        except OSError:
+            udp.close()
+            continue
+        holds += [udp, tcp]
+        ports.append(port)
+    for sock in holds:
+        sock.close()
+    return ports
+
+
+def group_keys(shard_map, per_group: int = 2) -> dict[int, list[str]]:
+    """The first *per_group* keys hashing to each group."""
+    out: dict[int, list[str]] = {gid: [] for gid in range(shard_map.n_groups)}
+    index = 0
+    while any(len(keys) < per_group for keys in out.values()):
+        key = f"k{index}"
+        index += 1
+        owner = shard_map.group_of_key(key)
+        if len(out[owner]) < per_group:
+            out[owner].append(key)
+    return out
+
+
+def workload(shard_map) -> list[Command]:
+    """Mixed ops over both groups, every ``CROSS_EVERY``-th cross-shard."""
+    keys = group_keys(shard_map)
+    cmds = []
+    for i in range(N_CMDS):
+        if i % CROSS_EVERY == CROSS_EVERY - 1:
+            cmds.append(
+                Command(f"x{i}", "put", f"{keys[0][0]}|{keys[1][0]}", i)
+            )
+            continue
+        gid = i % N_GROUPS
+        key = keys[gid][(i // N_GROUPS) % len(keys[gid])]
+        op, arg = (("put", i), ("inc", 1), ("get", None))[i % 3]
+        cmds.append(Command(f"s{i}", op, key, arg))
+    return cmds
+
+
+async def drive() -> None:
+    spec_base = {
+        "shape": SHAPE,
+        "sharded": {"n_groups": N_GROUPS},
+        "retransmit": vars(wall_clock_retransmit()),
+        "liveness": vars(wall_clock_liveness()),
+        "lifetime": 120.0,
+    }
+    shard_map, group_configs, merge_config = sharded_configs_from_spec(spec_base)
+    placement = sharded_node_plan(group_configs, merge_config)
+    nodes = sorted({*placement.values(), DRIVER_NODE})
+    remote_nodes = [node for node in nodes if node != DRIVER_NODE]
+    for node in nodes:
+        placement[control_pid(node)] = node
+
+    book = AddressBook(placement=placement)
+    for node, port in zip(remote_nodes, reserve_ports(len(remote_nodes))):
+        book.nodes[node] = ("127.0.0.1", port)
+    book.nodes[DRIVER_NODE] = ("127.0.0.1", 0)
+
+    driver = NetRuntime(
+        DRIVER_NODE, book, seed=99, codec_context=codec_context_for(merge_config)
+    )
+    await driver.start()
+
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(ROOT / "src") + os.pathsep + env.get("PYTHONPATH", "")
+    children: list[subprocess.Popen] = []
+    control: ControlClient | None = None
+    try:
+        for index, node in enumerate(remote_nodes):
+            spec = {
+                **spec_base,
+                "node": node,
+                "seed": index + 1,
+                "driver": DRIVER_NODE,
+                **book.to_json(),
+            }
+            children.append(
+                subprocess.Popen(
+                    [sys.executable, "-m", "repro.net.node", json.dumps(spec)],
+                    env=env,
+                )
+            )
+
+        groups = [NetCluster(driver, config) for config in group_configs]
+        merge = GenNetCluster(driver, merge_config)
+        router = ShardRouter(driver, shard_map, groups, merge)
+        control = ControlClient(control_pid(DRIVER_NODE), driver, set(remote_nodes))
+        assert await driver.wait_until(control.all_ready, timeout=30.0), (
+            f"nodes never ready: {sorted(control.expected - control.hellos)}"
+        )
+        coordinator_nodes = sorted(
+            {
+                book.node_of(config.topology.coordinators[0])
+                for config in (*group_configs, merge_config)
+            }
+        )
+        control.start_nodes(coordinator_nodes)
+
+        cmds = workload(shard_map)
+        cross = [c for c in cmds if len(shard_map.groups_of(c)) > 1]
+        assert cross, "workload must include cross-shard commands"
+        for index, cmd in enumerate(cmds):
+            router.propose(cmd, delay=0.3 + 0.05 * index)
+
+        site_nodes = sorted(
+            {book.node_of(pid) for pid in group_configs[0].topology.learners}
+        )
+        n_replicas = N_GROUPS * SHAPE["n_learners"]
+
+        def executed_everywhere() -> bool:
+            orders = control.replica_key_orders()
+            if len(orders) < n_replicas:
+                return False
+            for cmd in cmds:
+                for gid in shard_map.groups_of(cmd):
+                    for site in range(SHAPE["n_learners"]):
+                        replica = orders.get((gid, site), {})
+                        for key in shard_map.owned_keys(cmd, gid):
+                            if cmd.cid not in replica.get(key, ()):
+                                return False
+            return True
+
+        done = False
+        deadline = time.monotonic() + 90.0
+        while time.monotonic() < deadline:
+            control.audit_key_orders(site_nodes)
+            await driver.wait_until(
+                lambda: len(control.key_orders) >= len(site_nodes), timeout=5.0
+            )
+            if executed_everywhere():
+                done = True
+                break
+            await asyncio.sleep(0.3)
+        orders = control.replica_key_orders()
+        assert done, (
+            "commands never executed everywhere: "
+            f"{ {rep: {k: len(v) for k, v in o.items()} for rep, o in orders.items()} }"
+        )
+
+        # Zero per-key divergence across the sites of each group.
+        divergent = []
+        for gid in range(N_GROUPS):
+            keys = sorted(
+                {
+                    key
+                    for site in range(SHAPE["n_learners"])
+                    for key in orders[(gid, site)]
+                }
+            )
+            for key in keys:
+                per_site = {
+                    orders[(gid, site)].get(key, ())
+                    for site in range(SHAPE["n_learners"])
+                }
+                if len(per_site) > 1:
+                    divergent.append((gid, key))
+        assert divergent == [], f"per-key divergence across sites: {divergent}"
+
+        # Every cross-shard command executed once in *each* owning group.
+        for cmd in cross:
+            for gid in shard_map.groups_of(cmd):
+                (key,) = shard_map.owned_keys(cmd, gid)
+                for site in range(SHAPE["n_learners"]):
+                    assert orders[(gid, site)][key].count(cmd.cid) == 1
+    finally:
+        if control is not None:
+            control.shutdown_cluster(remote_nodes)
+            await asyncio.sleep(0.3)
+        await driver.stop()
+        deadline = time.monotonic() + 10.0
+        for child in children:
+            try:
+                child.wait(timeout=max(0.1, deadline - time.monotonic()))
+            except subprocess.TimeoutExpired:
+                child.kill()
+
+
+@pytest.mark.skipif(QUICK, reason="subprocess cluster skipped under CI=quick")
+def test_sharded_cluster_as_os_processes():
+    asyncio.run(drive())

@@ -168,3 +168,155 @@ def test_net_backend_lossy():
 @slow
 def test_net_backend_recovery():
     asyncio.run(run_net(RECOVERY))
+
+
+# -- generalized engine --------------------------------------------------------
+#
+# The same contract for the generalized engine: identical scenarios and
+# assertions on the simulator and on loopback sockets.  Learned c-structs
+# are partial orders, so "orders identical" becomes "per-key projections
+# of the delivered order identical" (commands on one key all conflict
+# under ``kv_conflict``; commuting commands may interleave freely).
+
+GEN_BASIC = Scenario("gen-basic", n_commands=16)
+GEN_LOSSY = Scenario("gen-lossy", n_commands=24, loss=0.15, seed=7)
+GEN_RECOVERY = Scenario(
+    "gen-recovery", n_commands=24, loss=0.05, checkpoint=True,
+    crash_learner=True, mtu=300, seed=9,
+)
+
+KEYS = 3
+
+
+def _gen_commands(scenario: Scenario) -> list[Command]:
+    return [
+        Command(f"gc-{scenario.name}-{i}", "put", f"k{i % KEYS}", i)
+        for i in range(scenario.n_commands)
+    ]
+
+
+def _per_key_orders(learners, cmds) -> dict[str, set[tuple]]:
+    """Per-key projection of each learner's delivered order."""
+    out: dict[str, set[tuple]] = {}
+    for key in sorted({c.key for c in cmds}):
+        wanted = {c for c in cmds if c.key == key}
+        orders = set()
+        for learner in learners:
+            seen: set = set()
+            order = []
+            for cmd in learner.delivered:
+                if cmd in wanted and cmd not in seen:
+                    seen.add(cmd)
+                    order.append(cmd)
+            orders.add(tuple(order))
+        out[key] = orders
+    return out
+
+
+def _assert_gen_converged(scenario, learned, learners, cmds, errors=()):
+    assert learned, f"{scenario.name}: not all commands learned everywhere"
+    for key, orders in _per_key_orders(learners, cmds).items():
+        assert len(orders) == 1, f"{scenario.name}: order on {key!r} diverges"
+        assert len(next(iter(orders))) == sum(1 for c in cmds if c.key == key)
+    assert not errors, f"{scenario.name}: transport errors: {errors}"
+
+
+def run_gen_sim(scenario: Scenario) -> None:
+    from repro.core.generalized import build_generalized
+    from repro.cstruct.history import CommandHistory
+    from repro.smr.machine import kv_conflict
+
+    sim = Simulation(
+        seed=scenario.seed,
+        network=NetworkConfig(drop_rate=scenario.loss),
+        max_events=8_000_000,
+    )
+    cluster = build_generalized(
+        sim,
+        CommandHistory.bottom(kv_conflict()),
+        **SHAPE,
+        retransmit=RetransmitConfig(),
+        liveness=LivenessConfig(),
+        checkpoint=(
+            CheckpointConfig(interval=8, chunk_size=4, gc_quorum=1)
+            if scenario.checkpoint
+            else None
+        ),
+    )
+    cluster.start_round(cluster.config.schedule.make_round(0, 1, 2))
+    cmds = _gen_commands(scenario)
+    for index, cmd in enumerate(cmds):
+        cluster.propose(cmd, delay=5.0 + 2.0 * index)
+    if scenario.crash_learner:
+        victim = cluster.learners[0]
+        sim.schedule(20.0, victim.crash)
+        sim.schedule(45.0, victim.recover)
+    learned = cluster.run_until_learned(cmds, timeout=50_000)
+    _assert_gen_converged(scenario, learned, cluster.learners, cmds)
+
+
+async def run_gen_net(scenario: Scenario) -> None:
+    from repro.core.generalized import GeneralizedConfig
+    from repro.core.quorums import QuorumSystem
+    from repro.core.rounds import RoundSchedule
+    from repro.core.topology import Topology
+    from repro.cstruct.history import CommandHistory
+    from repro.net.cluster import GeneralizedLoopbackDeployment
+    from repro.smr.machine import kv_conflict
+
+    topology = Topology.build(
+        SHAPE["n_proposers"], SHAPE["n_coordinators"],
+        SHAPE["n_acceptors"], SHAPE["n_learners"],
+    )
+    config = GeneralizedConfig(
+        topology=topology,
+        quorums=QuorumSystem(topology.acceptors, f=1),
+        schedule=RoundSchedule(range(SHAPE["n_coordinators"]), recovery_rtype=1),
+        bottom=CommandHistory.bottom(kv_conflict()),
+        retransmit=wall_clock_retransmit(),
+        liveness=wall_clock_liveness(),
+        checkpoint=(
+            wall_clock_checkpoint(interval=8, chunk_size=4, gc_quorum=1)
+            if scenario.checkpoint
+            else None
+        ),
+    )
+    deployment = GeneralizedLoopbackDeployment(
+        config, seed=scenario.seed, loss_rate=scenario.loss, mtu=scenario.mtu
+    )
+    await deployment.start()
+    try:
+        cmds = _gen_commands(scenario)
+        for index, cmd in enumerate(cmds):
+            deployment.cluster.propose(cmd, delay=0.3 + 0.02 * index)
+        if scenario.crash_learner:
+            victim = config.topology.learners[0]
+            deployment.driver.schedule(1.0, lambda: deployment.crash(victim))
+            deployment.driver.schedule(3.0, lambda: deployment.recover(victim))
+        learned = await deployment.run_until_learned(cmds, timeout=60.0)
+        _assert_gen_converged(
+            scenario, learned, deployment.learners, cmds, deployment.errors()
+        )
+    finally:
+        await deployment.stop()
+
+
+@pytest.mark.parametrize(
+    "scenario", [GEN_BASIC, GEN_LOSSY, GEN_RECOVERY], ids=lambda s: s.name
+)
+def test_gen_sim_backend(scenario):
+    run_gen_sim(scenario)
+
+
+def test_gen_net_backend_basic():
+    asyncio.run(run_gen_net(GEN_BASIC))
+
+
+@slow
+def test_gen_net_backend_lossy():
+    asyncio.run(run_gen_net(GEN_LOSSY))
+
+
+@slow
+def test_gen_net_backend_recovery():
+    asyncio.run(run_gen_net(GEN_RECOVERY))
